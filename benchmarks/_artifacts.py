@@ -1,0 +1,9 @@
+"""Artifact-writing helper shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def write_artifact(out_dir: Path, name: str, content: str) -> None:
+    (out_dir / name).write_text(content + "\n")

@@ -1,0 +1,81 @@
+"""Design-parameter sweeps — the tuning choices Section 3.2 motivates.
+
+Two of ECL-MST's constants are stated with justification but without a
+published sweep; these benches supply it:
+
+* ``filter_c`` — "Values between 2 and 4 seem to work well for c ...
+  We use c = 4 in our code."
+* the hybrid threshold — "processes each low-degree vertex (d(v) < 4)
+  with a single thread and each remaining vertex with an entire warp."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EclMstConfig
+from repro.core.eclmst import ecl_mst
+from repro.core.verify import reference_mst_mask
+
+from _artifacts import write_artifact
+
+FILTER_CS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+THRESHOLDS = (2, 4, 8, 32, 1 << 20)
+
+
+@pytest.mark.parametrize("c", FILTER_CS)
+def test_filter_c(benchmark, c, suite_graphs):
+    g = suite_graphs["coPapersDBLP"]
+    r = benchmark(lambda: ecl_mst(g, EclMstConfig(filter_c=c)))
+    assert r.num_mst_edges == g.num_vertices - 1
+
+
+def test_filter_c_artifact(benchmark, suite_graphs, out_dir):
+    g = suite_graphs["coPapersDBLP"]
+    ref = reference_mst_mask(g)
+
+    def sweep():
+        rows = ["c,modeled_seconds,rounds"]
+        for c in FILTER_CS:
+            r = ecl_mst(g, EclMstConfig(filter_c=c))
+            assert np.array_equal(r.in_mst, ref)
+            rows.append(f"{c},{r.modeled_seconds:.9f},{r.rounds}")
+        return "\n".join(rows)
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(out_dir, "sweep_filter_c.csv", out)
+    times = [float(l.split(",")[1]) for l in out.splitlines()[1:]]
+    # Over-filtering (c = 1: a phase-1 budget below the tree size) must
+    # never beat the paper's band — the second phase then has to build
+    # part of the tree from the heavy leftovers.  (At the bench's small
+    # scale a *large* c can win because the two-phase fixed costs
+    # dominate; at paper scale the band wins, see EXPERIMENTS.md.)
+    band_best = min(times[1:4])
+    assert band_best <= times[0] * 1.2
+
+
+@pytest.mark.parametrize("t", THRESHOLDS)
+def test_hybrid_threshold(benchmark, t, suite_graphs):
+    g = suite_graphs["soc-LiveJournal1"]
+    r = benchmark(lambda: ecl_mst(g, EclMstConfig(hybrid_threshold=t)))
+    assert r.num_mst_edges > 0
+
+
+def test_hybrid_threshold_artifact(benchmark, suite_graphs, out_dir):
+    g = suite_graphs["soc-LiveJournal1"]  # hub-heavy: hybrid matters
+
+    def sweep():
+        rows = ["threshold,modeled_seconds"]
+        for t in THRESHOLDS:
+            r = ecl_mst(g, EclMstConfig(hybrid_threshold=t))
+            rows.append(f"{t},{r.modeled_seconds:.9f}")
+        return "\n".join(rows)
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(out_dir, "sweep_hybrid_threshold.csv", out)
+    times = {
+        int(l.split(",")[0]): float(l.split(",")[1])
+        for l in out.splitlines()[1:]
+    }
+    # An effectively-infinite threshold disables warp handoff: on a
+    # hub-heavy input it must not beat the paper's setting.
+    assert times[4] <= times[1 << 20] * 1.001

@@ -1,0 +1,74 @@
+"""Extension comparison — the related-work and future-work codes.
+
+Benchmarks the codes outside Tables 3/4 against the table codes on one
+system: qKruskal and Filter-Kruskal (Section 2's serial line of work),
+Setia et al.'s parallel Prim (critical-section merging), and
+ECL-MST-CPU (the paper's algorithm on the CPU, its future-work
+direction).
+"""
+
+import pytest
+
+from repro.baselines import (
+    ecl_mst_cpu,
+    filter_kruskal_mst,
+    kruskal_serial_mst,
+    pbbs_parallel_mst,
+    qkruskal_mst,
+    setia_prim_mst,
+)
+from repro.core.eclmst import ecl_mst
+
+from _artifacts import write_artifact
+
+EXTENSION_CODES = {
+    "qkruskal": qkruskal_mst,
+    "filter_kruskal": filter_kruskal_mst,
+    "setia_prim": setia_prim_mst,
+    "ecl_mst_cpu": ecl_mst_cpu,
+}
+
+
+@pytest.mark.parametrize("name", EXTENSION_CODES, ids=list(EXTENSION_CODES))
+def test_extension_code(benchmark, name, suite_graphs):
+    g = suite_graphs["r4-2e23.sym"]
+    r = benchmark(lambda: EXTENSION_CODES[name](g))
+    assert r.num_mst_edges == g.num_vertices - 1
+
+
+def test_extension_artifact(benchmark, suite_graphs, out_dir):
+    """Relative standing of the extension codes (modeled seconds)."""
+
+    def sweep():
+        rows = ["input,ecl_gpu,ecl_cpu,setia_prim,filter_kruskal,qkruskal,kruskal"]
+        for name in ("r4-2e23.sym", "coPapersDBLP", "USA-road-d.USA"):
+            g = suite_graphs[name]
+            vals = [
+                ecl_mst(g).modeled_seconds,
+                ecl_mst_cpu(g).modeled_seconds,
+                setia_prim_mst(g).modeled_seconds,
+                filter_kruskal_mst(g).modeled_seconds,
+                qkruskal_mst(g).modeled_seconds,
+                kruskal_serial_mst(g).modeled_seconds,
+            ]
+            rows.append(name + "," + ",".join(f"{v:.9f}" for v in vals))
+        return "\n".join(rows)
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(out_dir, "extension_codes.csv", out)
+    # Structural expectations: the GPU model beats its own CPU port,
+    # and the CPU port of the ECL algorithm beats plain serial Kruskal.
+    for line in out.splitlines()[1:]:
+        _, gpu, cpu, _setia, _fk, _qk, serial = line.split(",")
+        assert float(gpu) < float(cpu)
+        assert float(cpu) < float(serial)
+
+
+def test_ecl_cpu_competitive_with_pbbs(suite_graphs):
+    """The ECL algorithm on the CPU plays in PBBS's league (same
+    deterministic-reservation family)."""
+    g = suite_graphs["r4-2e23.sym"]
+    ecl_cpu_t = ecl_mst_cpu(g).modeled_seconds
+    pbbs_t = pbbs_parallel_mst(g).modeled_seconds
+    assert ecl_cpu_t < 5 * pbbs_t
+    assert pbbs_t < 20 * ecl_cpu_t

@@ -1,0 +1,42 @@
+"""Figure 3 — System 1 throughput in millions of edges per second."""
+
+import pytest
+
+from repro.bench.figures import render_throughput_figure, throughput_series
+from repro.bench.harness import SYSTEM1, run_grid
+from repro.core.eclmst import ecl_mst
+
+from _artifacts import write_artifact
+
+CODES = ("ECL-MST", "Jucele GPU", "UMinho GPU", "PBBS CPU", "PBBS Ser.")
+
+
+@pytest.mark.parametrize("name", ["coPapersDBLP", "r4-2e23.sym", "as-skitter"])
+def test_ecl_throughput_input(benchmark, name, suite_graphs):
+    g = suite_graphs[name]
+    r = benchmark(lambda: ecl_mst(g, gpu=SYSTEM1.gpu))
+    assert r.throughput_meps() > 0
+
+
+def test_fig3_artifact(benchmark, suite_graphs, out_dir):
+    def make():
+        grid = run_grid(CODES, suite_graphs, SYSTEM1)
+        return grid, render_throughput_figure(
+            grid, CODES, title="System 1 throughput (Medges/s)"
+        )
+
+    grid, out = benchmark.pedantic(make, rounds=1, iterations=1)
+    series = throughput_series(grid, CODES)
+    ecl = {k: v for k, v in series["ECL-MST"].items() if v is not None}
+    # The figure's call-out bars are the dense inputs (coPapersDBLP,
+    # and on System 2 also soc-LiveJournal1): throughput correlates
+    # with average degree (Section 5.2), so the peak must be a dense
+    # input and coPapersDBLP must beat every sparse (d-avg < 8) input.
+    dense = {"coPapersDBLP", "kron_g500-logn21", "soc-LiveJournal1", "in-2004"}
+    assert max(ecl, key=ecl.get) in dense
+    sparse = {"2d-2e20.sym", "europe_osm", "internet", "USA-road-d.NY",
+              "USA-road-d.USA", "delaunay_n24"}
+    for name in sparse & set(ecl):
+        assert ecl["coPapersDBLP"] > ecl[name], name
+
+    write_artifact(out_dir, "fig3_throughput_system1.txt", out)

@@ -1,0 +1,46 @@
+"""Figure 4 — System 2 throughput in millions of edges per second."""
+
+import pytest
+
+from repro.baselines.registry import TABLE_CODES
+from repro.bench.figures import render_throughput_figure, throughput_series
+from repro.bench.harness import SYSTEM2, run_grid
+from repro.core.eclmst import ecl_mst
+
+from _artifacts import write_artifact
+
+
+@pytest.mark.parametrize("name", ["coPapersDBLP", "as-skitter", "europe_osm"])
+def test_ecl_throughput_input(benchmark, name, suite_graphs):
+    g = suite_graphs[name]
+    r = benchmark(lambda: ecl_mst(g, gpu=SYSTEM2.gpu))
+    assert r.throughput_meps() > 0
+
+
+def test_fig4_artifact(benchmark, suite_graphs, out_dir):
+    def make():
+        grid = run_grid(TABLE_CODES, suite_graphs, SYSTEM2)
+        return grid, render_throughput_figure(
+            grid, TABLE_CODES, title="System 2 throughput (Medges/s)"
+        )
+
+    grid, out = benchmark.pedantic(make, rounds=1, iterations=1)
+    series = throughput_series(grid, TABLE_CODES)
+    ecl = {k: v for k, v in series["ECL-MST"].items() if v is not None}
+    # The figure's call-out bars are the dense inputs (coPapersDBLP,
+    # and on System 2 also soc-LiveJournal1): throughput correlates
+    # with average degree (Section 5.2), so the peak must be a dense
+    # input and coPapersDBLP must beat every sparse (d-avg < 8) input.
+    dense = {"coPapersDBLP", "kron_g500-logn21", "soc-LiveJournal1", "in-2004"}
+    assert max(ecl, key=ecl.get) in dense
+    sparse = {"2d-2e20.sym", "europe_osm", "internet", "USA-road-d.NY",
+              "USA-road-d.USA", "delaunay_n24"}
+    for name in sparse & set(ecl):
+        assert ecl["coPapersDBLP"] > ecl[name], name
+    # ECL-MST beats every other code on every input (Section 5).
+    for name in suite_graphs:
+        for code in TABLE_CODES[1:]:
+            other = series[code][name]
+            if other is not None:
+                assert ecl[name] > other, (name, code)
+    write_artifact(out_dir, "fig4_throughput_system2.txt", out)

@@ -1,0 +1,38 @@
+"""Figure 7 — distance of the sampled filter threshold from its target.
+
+Checks the paper's claim that the 20-sample estimate "rarely chooses an
+edge weight that yields more than double or less than half as many
+edges being filtered than we intended."
+"""
+
+from repro.bench.figures import (
+    filter_accuracy_series,
+    render_filter_accuracy_figure,
+)
+from repro.core.config import EclMstConfig
+from repro.core.filtering import plan_filtering
+
+from _artifacts import write_artifact
+
+
+def test_threshold_estimation(benchmark, suite_graphs):
+    g = suite_graphs["coPapersDBLP"]
+    plan = benchmark(lambda: plan_filtering(g, EclMstConfig()))
+    assert plan.active
+
+
+def test_fig7_artifact(benchmark, suite_graphs, out_dir):
+    series = benchmark.pedantic(
+        lambda: filter_accuracy_series(suite_graphs, target_factor=4.0),
+        rounds=1,
+        iterations=1,
+    )
+    # Only the d-avg >= 4 inputs filter; road maps must be absent.
+    assert "USA-road-d.USA" not in series
+    assert "coPapersDBLP" in series
+    # Most inputs land within the half..double band.
+    within = sum(1 for v in series.values() if -0.5 <= v <= 1.0)
+    assert within >= 0.6 * len(series)
+    write_artifact(
+        out_dir, "fig7_filter_accuracy.txt", render_filter_accuracy_figure(series)
+    )

@@ -1,0 +1,41 @@
+"""Section 5.1 profiling claims.
+
+The paper (Nsight profile): the initialization kernel takes ~40% of the
+runtime, compute kernel 1 ~35%, kernels 2 and 3 ~12% each; the compute
+kernels launch between 4 (kron_g500-logn21) and 15 (delaunay_n24)
+times; with filtering the init kernel launches twice.
+"""
+
+import pytest
+
+from repro.bench.experiments import exp_kernel_profile
+from repro.bench.harness import SYSTEM2
+from repro.core.eclmst import ecl_mst
+
+from _artifacts import write_artifact
+
+
+@pytest.mark.parametrize("name", ["kron_g500-logn21", "delaunay_n24"])
+def test_profile_run(benchmark, name, suite_graphs):
+    g = suite_graphs[name]
+    r = benchmark(lambda: ecl_mst(g, gpu=SYSTEM2.gpu))
+    by = r.counters.seconds_by_kernel()
+    assert by["k1_reserve"] > by["k3_reset"]
+
+
+def test_round_count_ordering(suite_graphs):
+    """delaunay needs the most rounds, kron among the fewest."""
+    rounds = {
+        name: ecl_mst(g, gpu=SYSTEM2.gpu).rounds
+        for name, g in suite_graphs.items()
+    }
+    assert rounds["delaunay_n24"] >= rounds["kron_g500-logn21"]
+    assert 3 <= min(rounds.values())
+    assert max(rounds.values()) <= 20
+
+
+def test_profile_artifact(benchmark, bench_scale, out_dir):
+    out = benchmark.pedantic(
+        lambda: exp_kernel_profile(bench_scale), rounds=1, iterations=1
+    )
+    write_artifact(out_dir, "kernel_profile.csv", out)

@@ -1,0 +1,49 @@
+"""Extension study — throughput vs input size.
+
+Not a paper artifact, but the natural follow-up question the paper's
+Section 5.2 raises: ECL-MST's advantage grows with input size because
+its fixed costs (kernel launches, one host sync per round) amortize
+while the baselines' per-round rescans and propagation loops grow.
+This bench sweeps the r4 generator across sizes and records the
+throughput trend for ECL-MST and two baselines.
+"""
+
+import pytest
+
+from repro.baselines import kruskal_serial_mst, uminho_gpu_mst
+from repro.core.eclmst import ecl_mst
+from repro.generators import random_k_out
+
+from _artifacts import write_artifact
+
+SIZES = (1024, 4096, 16384)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ecl_scaling(benchmark, n):
+    g = random_k_out(n, 4, seed=2)
+    r = benchmark(lambda: ecl_mst(g))
+    assert r.num_mst_edges == n - 1
+
+
+def test_scaling_artifact(benchmark, out_dir):
+    def sweep():
+        rows = ["n,ecl_meps,uminho_gpu_meps,serial_meps,ecl_over_serial"]
+        for n in SIZES:
+            g = random_k_out(n, 4, seed=2)
+            ecl = ecl_mst(g)
+            um = uminho_gpu_mst(g)
+            ser = kruskal_serial_mst(g)
+            rows.append(
+                f"{n},{ecl.throughput_meps():.1f},{um.throughput_meps():.1f},"
+                f"{ser.throughput_meps():.1f},"
+                f"{ser.modeled_seconds / ecl.modeled_seconds:.1f}"
+            )
+        return "\n".join(rows)
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = out.splitlines()[1:]
+    ratios = [float(l.split(",")[-1]) for l in lines]
+    # The GPU advantage must grow with size (overhead amortization).
+    assert ratios[-1] > ratios[0]
+    write_artifact(out_dir, "scaling_study.csv", out)

@@ -1,0 +1,28 @@
+"""Table 2 — input inventory.
+
+Benchmarks the generator suite (graph construction is part of the
+artifact's ``set_up.sh`` step) and regenerates the inventory table.
+"""
+
+import pytest
+
+from repro.bench.tables import render_table2
+from repro.generators import suite
+
+from _artifacts import write_artifact
+
+
+@pytest.mark.parametrize(
+    "name", ["r4-2e23.sym", "coPapersDBLP", "europe_osm", "kron_g500-logn21"]
+)
+def test_generate_input(benchmark, name, bench_scale):
+    g = benchmark(lambda: suite.build(name, scale=bench_scale))
+    assert g.num_edges > 0
+
+
+def test_render_table2(benchmark, suite_graphs, out_dir):
+    out = benchmark.pedantic(
+        lambda: render_table2(suite_graphs), rounds=1, iterations=1
+    )
+    assert "kron_g500-logn21" in out
+    write_artifact(out_dir, "table2.txt", out)

@@ -1,0 +1,42 @@
+"""Table 3 — System 1 (Titan V + Threadripper 2950X) runtimes.
+
+Benchmarks representative code/input cells (real wall time of the
+simulated implementations) and regenerates the full modeled table.
+"""
+
+import pytest
+
+from repro.baselines.registry import get_runner
+from repro.bench.harness import SYSTEM1, run_grid
+from repro.bench.tables import render_runtime_table
+
+from _artifacts import write_artifact
+
+CODES = (
+    "ECL-MST",
+    "Jucele GPU",
+    "Gunrock GPU",
+    "UMinho GPU",
+    "Lonestar CPU",
+    "PBBS CPU",
+    "UMinho CPU",
+    "PBBS Ser.",
+)
+
+
+@pytest.mark.parametrize("code", ["ECL-MST", "Jucele GPU", "PBBS Ser."])
+def test_cell_runtime(benchmark, code, suite_graphs):
+    g = suite_graphs["r4-2e23.sym"]
+    runner = get_runner(code)
+    r = benchmark(lambda: runner.run(g, gpu=SYSTEM1.gpu, cpu=SYSTEM1.cpu))
+    assert r.num_mst_edges == g.num_vertices - 1
+
+
+def test_full_table3(benchmark, suite_graphs, out_dir):
+    def make():
+        grid = run_grid(CODES, suite_graphs, SYSTEM1)
+        return render_runtime_table(grid, CODES)
+
+    out = benchmark.pedantic(make, rounds=1, iterations=1)
+    assert "MSF GeoMean" in out
+    write_artifact(out_dir, "table3_system1.txt", out)

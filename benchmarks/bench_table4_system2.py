@@ -1,0 +1,38 @@
+"""Table 4 — System 2 (RTX 3080 Ti + 2x Xeon Gold 6226R) runtimes,
+including the cuGraph column that only runs on this system."""
+
+import pytest
+
+from repro.baselines.registry import TABLE_CODES, get_runner
+from repro.bench.harness import SYSTEM2, run_grid
+from repro.bench.tables import render_runtime_table
+
+from _artifacts import write_artifact
+
+
+@pytest.mark.parametrize("code", ["ECL-MST", "cuGraph GPU", "UMinho GPU"])
+def test_cell_runtime(benchmark, code, suite_graphs):
+    g = suite_graphs["coPapersDBLP"]
+    runner = get_runner(code)
+    r = benchmark(lambda: runner.run(g, gpu=SYSTEM2.gpu, cpu=SYSTEM2.cpu))
+    assert r.num_mst_edges == g.num_vertices - 1
+
+
+def test_cugraph_float_vs_double(benchmark, suite_graphs):
+    """The §5.1 float-vs-double discussion: float ~1.2x faster."""
+    from repro.baselines import cugraph_mst
+
+    g = suite_graphs["coPapersDBLP"]
+    f = benchmark(lambda: cugraph_mst(g, precision="float"))
+    d = cugraph_mst(g, precision="double")
+    assert f.modeled_seconds < d.modeled_seconds
+
+
+def test_full_table4(benchmark, suite_graphs, out_dir):
+    def make():
+        grid = run_grid(TABLE_CODES, suite_graphs, SYSTEM2)
+        return render_runtime_table(grid, TABLE_CODES)
+
+    out = benchmark.pedantic(make, rounds=1, iterations=1)
+    assert "cuGraph GPU" in out
+    write_artifact(out_dir, "table4_system2.txt", out)

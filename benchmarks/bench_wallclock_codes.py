@@ -1,0 +1,36 @@
+"""Real wall-clock comparison of the Python implementations themselves.
+
+The paper tables compare *modeled* device times; this module times the
+actual NumPy implementations (useful for tracking regressions in this
+repository, not for GPU-vs-CPU claims).
+"""
+
+import pytest
+
+from repro.baselines import (
+    cugraph_mst,
+    kruskal_serial_mst,
+    lonestar_cpu_mst,
+    pbbs_parallel_mst,
+    prim_mst,
+    uminho_gpu_mst,
+)
+from repro.core.eclmst import ecl_mst
+
+RUNNERS = {
+    "ecl-mst": ecl_mst,
+    "cugraph": cugraph_mst,
+    "uminho-gpu": uminho_gpu_mst,
+    "lonestar": lonestar_cpu_mst,
+    "pbbs": pbbs_parallel_mst,
+    "kruskal": kruskal_serial_mst,
+    "prim": prim_mst,
+}
+
+
+@pytest.mark.parametrize("name", RUNNERS, ids=list(RUNNERS))
+def test_wallclock(benchmark, name, suite_graphs):
+    g = suite_graphs["rmat22.sym"]
+    runner = RUNNERS[name]
+    r = benchmark.pedantic(lambda: runner(g), rounds=3, iterations=1)
+    assert r.num_mst_edges > 0

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures.  The benchmarked callables are the real computations (graph
+builds, MST runs, experiment grids); alongside the timing, each module
+writes its regenerated artifact to ``benchmarks/out/`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+paper artifacts on disk.
+
+``REPRO_BENCH_SCALE`` (default 0.25) trades artifact fidelity against
+wall time; EXPERIMENTS.md records a scale-1.0 run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import build_suite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep benchmark output deterministic in order.
+    items.sort(key=lambda it: it.nodeid)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def suite_graphs(bench_scale):
+    """The 17-input suite, shared across all benchmark modules."""
+    return build_suite(bench_scale)
+
+

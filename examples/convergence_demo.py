@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The Section-3.1 derivation, live: watch parallel Kruskal *become*
+parallel Borůvka.
+
+The paper's fourth contribution is that fully parallelizing Kruskal's
+algorithm converges to Borůvka's parallelization.  This demo runs the
+three derivation stages on one input and prints the per-round winner
+counts — the last two columns are identical, round for round, because
+the two "different" algorithms execute the same steps.
+
+Run:  python examples/convergence_demo.py
+"""
+
+from repro.core.convergence import (
+    boruvka_parallel,
+    kruskal_chunked_sorted,
+    kruskal_unsorted,
+    trace_equivalence,
+)
+from repro.generators import random_k_out
+
+
+def main() -> None:
+    graph = random_k_out(4096, 4, seed=9)
+    graph.name = "r4-demo"
+    print(f"input: {graph}\n")
+
+    chunked = kruskal_chunked_sorted(graph, chunk_size=graph.num_vertices // 2)
+    unsorted = kruskal_unsorted(graph)
+    boruvka = boruvka_parallel(graph)
+
+    print("stage 1  sorted + chunked + index reservations "
+          f"(mid-derivation): {chunked.rounds} rounds")
+    print("stage 2  unsorted + key reservations "
+          f"(= ECL-MST, edge-centric view): {unsorted.rounds} rounds")
+    print("stage 3  Boruvka parallelization "
+          f"(vertex-centric view): {boruvka.rounds} rounds\n")
+
+    print(f"{'round':>5s} {'stage 2 winners':>16s} {'stage 3 winners':>16s}")
+    for i, (a, b) in enumerate(
+        zip(unsorted.winners_per_round, boruvka.winners_per_round), 1
+    ):
+        same = "==" if a == b else "!!"
+        print(f"{i:5d} {len(a):16d} {len(b):16d}   {same}")
+
+    report = trace_equivalence(graph)
+    assert report.converged
+    print("\nsame MSF from all three stages; stages 2 and 3 pick the same")
+    print("edges in the same rounds — 'merely a distinction in viewpoint'.")
+
+
+if __name__ == "__main__":
+    main()

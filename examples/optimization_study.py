@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Interactive tour of the eight ECL-MST optimizations (Section 5.3).
+
+Removes each optimization cumulatively — exactly the Table-5 ladder —
+on one dense input, printing the modeled slowdown and the hardware
+counters that explain it (atomics executed, pointer jumps, items
+processed, DRAM bytes).
+
+Run:  python examples/optimization_study.py
+"""
+
+from repro.core.config import deopt_stages
+from repro.core.eclmst import ecl_mst
+from repro.generators import random_k_out
+from repro.gpusim.spec import RTX_3080_TI
+
+
+def main() -> None:
+    graph = random_k_out(16_384, 4, seed=1)
+    graph.name = "r4-mini"
+    print(f"input: {graph}\n")
+    header = (
+        f"{'stage':24s} {'ms':>8s} {'x':>6s} {'items':>10s} "
+        f"{'MB':>8s} {'atomics':>9s} {'jumps':>10s} {'launches':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    base = None
+    for name, cfg in deopt_stages():
+        r = ecl_mst(graph, cfg, gpu=RTX_3080_TI, verify=True)
+        s = r.counters.summary()
+        if base is None:
+            base = r.modeled_seconds
+        print(
+            f"{name:24s} {r.modeled_seconds * 1e3:8.3f} "
+            f"{r.modeled_seconds / base:6.2f} {s['items']:10.0f} "
+            f"{s['bytes'] / 1e6:8.1f} {s['atomics']:9.0f} "
+            f"{s['find_jumps']:10.0f} {s['launches']:8.0f}"
+        )
+
+    print(
+        "\nreading the counters:\n"
+        "  - 'No Atomic Guards' executes every atomicMin (atomics jump)\n"
+        "  - 'No Filter' keeps heavy edges alive through all rounds (items)\n"
+        "  - 'No Impl. Path Compr.' chases longer parent chains (jumps)\n"
+        "  - 'Both Edge Dir.' doubles the worklist (items, MB)\n"
+        "  - 'No Tuples' pays four transactions per entry (MB)\n"
+        "  - 'Topology-Driven' rescans all edges per round but writes no\n"
+        "    worklists (items up, MB roughly flat) - the one removal that\n"
+        "    can help, as the paper notes\n"
+        "  - 'Vertex-Centric' serializes each vertex's edges on one thread"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Route-planning substrate comparison on road networks.
+
+Road maps are the paper's hardest structural case: average degree ~2.4,
+huge diameter, many Borůvka rounds.  This example reproduces the
+Table-4 road-map story in miniature: ECL-MST vs the contraction-based
+UMinho GPU code (the best baseline on roads) vs cuGraph (whose
+flood-style color propagation collapses on deep components) vs the
+parallel CPU codes.
+
+Run:  python examples/road_benchmark.py
+"""
+
+from repro import ecl_mst
+from repro.baselines import (
+    cugraph_mst,
+    kruskal_serial_mst,
+    pbbs_parallel_mst,
+    uminho_gpu_mst,
+)
+from repro.generators import road_network
+
+
+def main() -> None:
+    graph = road_network(20_000, target_avg_degree=2.4, seed=3)
+    graph.name = "usa-road-mini"
+    print(f"input: {graph} (directed slots: {graph.num_directed_edges})\n")
+
+    runners = [
+        ("ECL-MST (GPU)", lambda: ecl_mst(graph, verify=True)),
+        ("UMinho GPU (contraction)", lambda: uminho_gpu_mst(graph)),
+        ("cuGraph GPU (color flood)", lambda: cugraph_mst(graph)),
+        ("PBBS CPU (reservations)", lambda: pbbs_parallel_mst(graph)),
+        ("Kruskal serial", lambda: kruskal_serial_mst(graph)),
+    ]
+
+    results = []
+    for name, fn in runners:
+        r = fn()
+        results.append((name, r))
+        print(
+            f"{name:28s} {r.modeled_seconds * 1e3:9.3f} ms   "
+            f"{r.throughput_meps():9,.1f} Medges/s   rounds={r.rounds}"
+        )
+
+    ecl = results[0][1]
+    weights = {r.total_weight for _, r in results}
+    assert len(weights) == 1, "all codes must find the same optimum"
+    print(f"\nall codes agree: weight {ecl.total_weight}, "
+          f"{ecl.num_mst_edges} edges")
+    print(
+        "note the paper's road-map signature: contraction (UMinho) is the "
+        "closest chaser,\nwhile flood-based color propagation (cuGraph) "
+        "pays one kernel launch per hop of\ncomponent diameter."
+    )
+
+
+if __name__ == "__main__":
+    main()

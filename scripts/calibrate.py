@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Calibration report: modeled performance ratios vs. the paper's.
+
+Prints, for both systems, the geometric-mean runtime of every code
+relative to ECL-MST next to the ratio the paper reports, plus the
+Table-5 de-optimization deltas.  Used to tune the cost-model constants
+once; re-run after any cost-model change.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import build_suite, DEFAULT_SCALE
+from repro.bench.harness import SYSTEM1, SYSTEM2, run_grid
+from repro.bench.tables import format_seconds
+from repro.baselines.registry import TABLE_CODES
+from repro.core.config import DEOPT_STAGE_NAMES, deopt_stages
+from repro.core.eclmst import ecl_mst
+from repro.bench.harness import geomean
+from repro.generators import suite as suite_mod
+
+# Paper geomean ratios vs ECL-MST (code -> (msf_ratio, mst_ratio)).
+PAPER_SYS2 = {
+    "Jucele GPU": (None, 0.0195 / 0.0044),
+    "Gunrock GPU": (None, 0.0373 / 0.0044),
+    "cuGraph GPU": (0.0805 / 0.0063, 0.0953 / 0.0044),
+    "UMinho GPU": (0.2924 / 0.0063, 0.0808 / 0.0044),
+    "Lonestar CPU": (2.6685 / 0.0063, 2.0036 / 0.0044),
+    "PBBS CPU": (0.1718 / 0.0063, 0.1921 / 0.0044),
+    "UMinho CPU": (0.4506 / 0.0063, 0.2589 / 0.0044),
+    "PBBS Ser.": (1.5210 / 0.0063, 1.4110 / 0.0044),
+}
+PAPER_SYS1 = {
+    "Jucele GPU": (None, 0.0324 / 0.0070),
+    "Gunrock GPU": (None, 0.0485 / 0.0070),
+    "UMinho GPU": (0.3978 / 0.0103, 0.1199 / 0.0070),
+    "Lonestar CPU": (2.4886 / 0.0103, 1.8148 / 0.0070),
+    "PBBS CPU": (0.3335 / 0.0103, 0.3465 / 0.0070),
+    "UMinho CPU": (0.4775 / 0.0103, 0.2734 / 0.0070),
+    "PBBS Ser.": (1.4231 / 0.0103, 1.2856 / 0.0070),
+}
+# Table 5 cumulative stage geomeans (seconds); ratios vs full ECL-MST.
+PAPER_DEOPT = [0.0044, 0.0056, 0.0061, 0.0079, 0.0125, 0.0203, 0.0270, 0.0255, 0.0358]
+# "ECL-MST memcpy" is ~5.6x ECL-MST on System 2, ~4x on System 1.
+PAPER_MEMCPY_RATIO = {1: 0.0290 / 0.0070, 2: 0.0247 / 0.0044}
+
+
+def report(scale: float = DEFAULT_SCALE) -> None:
+    graphs = build_suite(scale)
+    mst_names = {
+        n for n in graphs if suite_mod.SUITE[n].single_component
+    }
+    for sysno, system, paper in ((1, SYSTEM1, PAPER_SYS1), (2, SYSTEM2, PAPER_SYS2)):
+        codes = tuple(
+            c for c in TABLE_CODES if sysno == 2 or not c.startswith("cuGraph")
+        )
+        grid = run_grid(codes, graphs, system)
+        ecl_msf = grid.geomean_seconds("ECL-MST")
+        ecl_mst_gm = grid.geomean_seconds("ECL-MST", mst_only_names=mst_names)
+        print(f"\n=== {system.name} ===")
+        print(f"ECL-MST geomean: MSF {format_seconds(ecl_msf)}  MST {format_seconds(ecl_mst_gm)}")
+        mem_vals = [
+            c.seconds + c.memcpy_seconds
+            for c in grid.column("ECL-MST")
+            if c.graph_name in mst_names
+        ]
+        print(
+            f"{'code':14s} {'msf x':>8s} {'paper':>7s}   {'mst x':>8s} {'paper':>7s}"
+        )
+        print(
+            f"{'ECL memcpy':14s} {'':>8s} {'':>7s}   "
+            f"{geomean(mem_vals) / ecl_mst_gm:8.1f} {PAPER_MEMCPY_RATIO[sysno]:7.1f}"
+        )
+        for code in codes:
+            if code == "ECL-MST":
+                continue
+            msf = grid.geomean_seconds(code)
+            mst = grid.geomean_seconds(code, mst_only_names=mst_names)
+            pm, pt = paper.get(code, (None, None))
+            msf_s = f"{msf / ecl_msf:8.1f}" if msf else "      NC"
+            pm_s = f"{pm:7.1f}" if pm else "     NC"
+            print(
+                f"{code:14s} {msf_s} {pm_s}   {mst / ecl_mst_gm:8.1f} "
+                f"{f'{pt:7.1f}' if pt else '':>7s}"
+            )
+
+    print("\n=== Table 5 de-optimization (System 2, MST inputs) ===")
+    input_names = sorted(mst_names)
+    print(f"{'stage':22s} {'modeled x':>9s} {'paper x':>8s}")
+    prev = None
+    for (name, cfg), paper_s in zip(deopt_stages(), PAPER_DEOPT):
+        gm = geomean(
+            [ecl_mst(graphs[g], cfg, gpu=SYSTEM2.gpu).modeled_seconds for g in input_names]
+        )
+        if prev is None:
+            base = gm
+        print(f"{name:22s} {gm / base:9.2f} {paper_s / PAPER_DEOPT[0]:8.2f}")
+        prev = gm
+
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_SCALE
+    report(scale)

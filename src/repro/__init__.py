@@ -1,0 +1,35 @@
+"""Reproduction of "A High-Performance MST Implementation for GPUs"
+(ECL-MST, SC '23) on a simulated GPU substrate.
+
+Quickstart::
+
+    from repro import ecl_mst, generators
+
+    g = generators.suite.build("USA-road-d.NY")
+    result = ecl_mst(g, verify=True)
+    print(result.total_weight, result.modeled_seconds)
+"""
+
+from . import apps, baselines, bench, core, dsu, generators, gpusim, graph
+from .core import EclMstConfig, MstResult, ecl_mst, verify_mst
+from .graph import CSRGraph, build_csr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "EclMstConfig",
+    "MstResult",
+    "__version__",
+    "apps",
+    "baselines",
+    "bench",
+    "build_csr",
+    "core",
+    "dsu",
+    "ecl_mst",
+    "generators",
+    "gpusim",
+    "graph",
+    "verify_mst",
+]

@@ -1,0 +1,14 @@
+"""Downstream applications built on the MST API — the domains the
+paper's introduction motivates (network analysis, route planning,
+medical diagnostics)."""
+
+from .backbone import kmst_spanner, mst_backbone
+from .bottleneck import bottleneck_weights
+from .clustering import single_linkage_labels
+
+__all__ = [
+    "bottleneck_weights",
+    "kmst_spanner",
+    "mst_backbone",
+    "single_linkage_labels",
+]

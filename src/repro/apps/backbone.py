@@ -1,0 +1,73 @@
+"""Graph sparsification via spanning structures (network analysis).
+
+* :func:`mst_backbone` — the MSF itself as a graph: the minimal
+  connectivity skeleton used in network-analysis pipelines.
+* :func:`kmst_spanner` — the union of ``k`` successive edge-disjoint
+  MSFs (compute an MSF, remove its edges, repeat).  The union is the
+  standard ``k``-connectivity certificate: it preserves every cut of
+  size ≤ k while keeping at most ``k (|V| - 1)`` edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.eclmst import ecl_mst
+from ..graph.build import build_csr
+from ..graph.csr import CSRGraph
+
+__all__ = ["mst_backbone", "kmst_spanner"]
+
+
+def mst_backbone(graph: CSRGraph) -> CSRGraph:
+    """The MSF of ``graph`` as a standalone :class:`CSRGraph`."""
+    result = ecl_mst(graph)
+    u, v, w = result.edges()
+    return build_csr(
+        graph.num_vertices, u, v, w, name=f"{graph.name}-backbone"
+    )
+
+
+def kmst_spanner(graph: CSRGraph, k: int) -> CSRGraph:
+    """Union of ``k`` successive edge-disjoint MSFs of ``graph``.
+
+    Raises
+    ------
+    ValueError
+        If ``k`` is not positive.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    su, sv, sw = [], [], []
+    current = graph
+    for round_no in range(k):
+        if current.num_edges == 0:
+            break
+        result = ecl_mst(current)
+        u, v, w = result.edges()
+        if u.size == 0:
+            break
+        su.append(u)
+        sv.append(v)
+        sw.append(w)
+        # Remove the selected edges and rebuild the remainder.
+        gu, gv, gw, geid = current.undirected_edges()
+        remaining = ~result.in_mst[geid]
+        current = build_csr(
+            graph.num_vertices,
+            gu[remaining],
+            gv[remaining],
+            gw[remaining],
+            name=f"{graph.name}-rest{round_no}",
+        )
+    if not su:
+        from ..graph.build import empty_graph
+
+        return empty_graph(graph.num_vertices, f"{graph.name}-spanner{k}")
+    return build_csr(
+        graph.num_vertices,
+        np.concatenate(su),
+        np.concatenate(sv),
+        np.concatenate(sw),
+        name=f"{graph.name}-spanner{k}",
+    )

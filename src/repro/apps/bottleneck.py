@@ -1,0 +1,67 @@
+"""Minimax (bottleneck) path queries — the route-planning motivation.
+
+For any two vertices, the path between them *in the MST* minimizes the
+maximum edge weight over all connecting paths (the classic minimax
+property; Held & Karp's TSP bounds and the paper's route-planning
+citation both lean on it).  This module answers bottleneck queries by
+walking the MST.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core.eclmst import ecl_mst
+from ..core.result import MstResult
+from ..graph.csr import CSRGraph
+
+__all__ = ["bottleneck_weights"]
+
+
+def bottleneck_weights(
+    graph: CSRGraph,
+    queries: list[tuple[int, int]],
+    *,
+    result: MstResult | None = None,
+) -> list[int | None]:
+    """Minimax path weight for each ``(source, target)`` query.
+
+    Returns ``None`` for pairs in different connected components.
+    Complexity: O(|V|) per distinct source (BFS over the MSF).
+    """
+    if result is None:
+        result = ecl_mst(graph)
+    n = graph.num_vertices
+    u, v, w = result.edges()
+    # Forest adjacency.
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for i in range(u.size):
+        a, b, wt = int(u[i]), int(v[i]), int(w[i])
+        adj[a].append((b, wt))
+        adj[b].append((a, wt))
+
+    answers: list[int | None] = []
+    cache: dict[int, np.ndarray] = {}
+    for s, t in queries:
+        if not (0 <= s < n and 0 <= t < n):
+            raise IndexError(f"query ({s}, {t}) out of range")
+        if s == t:
+            answers.append(0)
+            continue
+        if s not in cache:
+            # BFS from s recording the max edge weight along the path.
+            maxw = np.full(n, -1, dtype=np.int64)
+            maxw[s] = 0
+            q = deque([s])
+            while q:
+                x = q.popleft()
+                for y, wt in adj[x]:
+                    if maxw[y] < 0:
+                        maxw[y] = max(maxw[x], wt)
+                        q.append(y)
+            cache[s] = maxw
+        val = int(cache[s][t])
+        answers.append(None if val < 0 else val)
+    return answers

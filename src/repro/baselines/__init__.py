@@ -1,0 +1,36 @@
+"""Reimplementations of the paper's comparator codes (Table 1) plus the
+classic serial MST algorithms from the related work."""
+
+from .cugraph_style import cugraph_mst
+from .ecl_cpu import ecl_mst_cpu
+from .errors import NotConnectedError
+from .gunrock_style import gunrock_mst
+from .jucele import jucele_mst
+from .kruskal import filter_kruskal_mst, kruskal_serial_mst, qkruskal_mst
+from .lonestar import lonestar_cpu_mst
+from .pbbs import pbbs_parallel_mst
+from .prim import prim_mst
+from .registry import RUNNERS, Runner, TABLE_CODES, get_runner
+from .setia_prim import setia_prim_mst
+from .uminho import uminho_cpu_mst, uminho_gpu_mst
+
+__all__ = [
+    "NotConnectedError",
+    "RUNNERS",
+    "Runner",
+    "TABLE_CODES",
+    "cugraph_mst",
+    "ecl_mst_cpu",
+    "filter_kruskal_mst",
+    "get_runner",
+    "gunrock_mst",
+    "jucele_mst",
+    "kruskal_serial_mst",
+    "lonestar_cpu_mst",
+    "pbbs_parallel_mst",
+    "prim_mst",
+    "qkruskal_mst",
+    "setia_prim_mst",
+    "uminho_cpu_mst",
+    "uminho_gpu_mst",
+]

@@ -1,0 +1,192 @@
+"""Shared vectorized Borůvka machinery for the baseline codes.
+
+All the Borůvka-family comparators (Jucele, UMinho, cuGraph, Gunrock,
+Lonestar) share the same round skeleton — per-component minimum edge,
+winner selection, component merge — but differ in *how* the hardware
+executes it (vertex- vs edge-centric, topology- vs data-driven, true
+contraction vs disjoint sets).  Because the packed ``weight:edge-ID``
+keys are unique, every variant selects the identical, unique MSF, which
+lets the tests verify all baselines against the same reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.atomics import KEY_INFINITY, pack_keys, unpack_edge_id
+
+__all__ = ["BoruvkaRound", "boruvka_round", "propagate_colors"]
+
+
+@dataclass
+class BoruvkaRound:
+    """Outcome of one Borůvka step over the (possibly contracted) graph.
+
+    Attributes
+    ----------
+    winner_eids:
+        Unique undirected edge IDs entering the MSF this round.
+    new_comp:
+        Updated per-vertex component labels after merging.
+    cross_edges:
+        Number of directed slots that still crossed components (the
+        live work this round).
+    prop_iterations:
+        Pointer-jumping iterations needed to flatten the merged labels
+        (codes with doubling-based label resolution pay O(log depth)).
+    flood_iterations:
+        The *depth* of the hook forest — the number of one-hop
+        color-flood steps a propagate-until-stable implementation needs
+        (codes that flood labels neighbor-to-neighbor pay this; on road
+        networks the hooks chain and the depth grows).
+    atomic_contention:
+        Maximum number of cross edges funnelling their ``atomicMin``
+        into a single component's slot this round — the same-address
+        serialization critical path for unguarded min-reductions.
+    """
+
+    winner_eids: np.ndarray
+    new_comp: np.ndarray
+    cross_edges: int
+    prop_iterations: int
+    flood_iterations: int
+    atomic_contention: int
+    num_components: int
+
+
+def boruvka_round(
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    eid: np.ndarray,
+    comp: np.ndarray,
+) -> BoruvkaRound:
+    """One Borůvka step: every component hooks its minimum incident edge.
+
+    ``src/dst/w/eid`` describe directed slots of the *current* working
+    graph; ``comp`` maps each original vertex to its component label.
+    The merge is the classic "hook to the other endpoint's component,
+    then pointer-jump until flat" — exactly what color-propagation GPU
+    codes do.
+    """
+    c_src = comp[src]
+    c_dst = comp[dst]
+    cross = c_src != c_dst
+    n_cross = int(np.count_nonzero(cross))
+    if n_cross == 0:
+        roots = np.unique(comp)
+        return BoruvkaRound(
+            winner_eids=np.empty(0, dtype=np.int64),
+            new_comp=comp,
+            cross_edges=0,
+            prop_iterations=0,
+            flood_iterations=0,
+            atomic_contention=0,
+            num_components=int(roots.size),
+        )
+
+    cs, cd = c_src[cross], c_dst[cross]
+    keys = pack_keys(w[cross], eid[cross])
+
+    n = comp.size
+    min_key = np.full(n, KEY_INFINITY, dtype=np.uint64)
+    np.minimum.at(min_key, cs, keys)
+    np.minimum.at(min_key, cd, keys)
+    # Hottest reduction slot: how many cross edges target one component.
+    slot_counts = np.bincount(cs, minlength=n) + np.bincount(cd, minlength=n)
+    atomic_contention = int(slot_counts.max())
+
+    # Winners: the edge recorded as minimum of either endpoint component.
+    win = (keys == min_key[cs]) | (keys == min_key[cd])
+    winner_eids = np.unique(eid[cross][win])
+
+    # Hook: each component points at the other endpoint of its minimum
+    # edge (both endpoints hook, which is safe: the union graph of
+    # minimum edges is acyclic for unique keys).
+    parent = np.arange(n, dtype=np.int64)
+    w_cs, w_cd = cs[win], cd[win]
+    # Deterministic hook direction: larger label under smaller label.
+    lo = np.minimum(w_cs, w_cd)
+    hi = np.maximum(w_cs, w_cd)
+    parent[hi] = lo
+
+    # Flood depth: single-hop label propagation needs as many steps as
+    # the deepest hook chain.  Measured exactly before any jumping.
+    flood_iterations = 0
+    probe = parent
+    while True:
+        nxt = parent[probe]
+        flood_iterations += 1
+        if np.array_equal(nxt, probe):
+            break
+        probe = nxt
+
+    # Color propagation (pointer jumping) until flat: O(log depth).
+    iters = 0
+    while True:
+        nxt = parent[parent]
+        iters += 1
+        if np.array_equal(nxt, parent):
+            break
+        parent = nxt
+
+    new_comp = parent[comp]
+    roots = np.unique(new_comp)
+    return BoruvkaRound(
+        winner_eids=winner_eids,
+        new_comp=new_comp,
+        cross_edges=n_cross,
+        prop_iterations=iters,
+        flood_iterations=flood_iterations,
+        atomic_contention=atomic_contention,
+        num_components=int(roots.size),
+    )
+
+
+def graph_flood_iterations(
+    src: np.ndarray,
+    dst: np.ndarray,
+    old_comp: np.ndarray,
+    new_comp: np.ndarray,
+) -> int:
+    """One-hop label flooding over the *graph topology* until every
+    vertex of each newly merged component agrees on its minimum label.
+
+    This is how simple supervertex codes propagate colors: each
+    iteration is one kernel (``L[v] = min(L[v], L[neighbors])``) plus a
+    changed-flag check on the host.  The iteration count equals the
+    merged components' internal hop-diameter from their minimum-label
+    member — large on road networks, small on scale-free graphs, which
+    is exactly cuGraph's Table-4 input signature.
+    """
+    # Only edges internal to a merged component can carry the color.
+    intra = new_comp[src] == new_comp[dst]
+    s, d = src[intra], dst[intra]
+    labels = old_comp.copy()
+    # Target: the minimum old label inside each new component.
+    target = np.full(labels.size, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(target, new_comp, labels)
+    final = target[new_comp]
+    iters = 0
+    while not np.array_equal(labels, final):
+        iters += 1
+        nxt = labels.copy()
+        np.minimum.at(nxt, s, labels[d])
+        np.minimum.at(nxt, d, labels[s])
+        if np.array_equal(nxt, labels):
+            break  # disconnected-from-minimum corner; flood is done
+        labels = nxt
+    return iters
+
+
+def propagate_colors(labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """Flatten a pointer forest by repeated jumping; returns iterations."""
+    iters = 0
+    while True:
+        nxt = labels[labels]
+        iters += 1
+        if np.array_equal(nxt, labels):
+            return labels, iters
+        labels = nxt

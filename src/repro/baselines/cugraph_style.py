@@ -1,0 +1,119 @@
+"""RAPIDS cuGraph-style baseline.
+
+cuGraph's MST (built on RAFT) implements Borůvka with **color
+propagation and supervertices** in a **vertex-centric,
+topology-driven** fashion: every round rescans the full original edge
+set — no worklist, no contraction — and then iterates color
+propagation until the labels settle.  It supports MSF and ships two
+weight precisions; most of the paper's inputs need the ``double``
+variant (used in Table 4), with the ``float`` variant about 1.2×
+faster thanks to halved weight traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import MstResult
+from ..graph.csr import CSRGraph
+from ..gpusim.costmodel import Device
+from ..gpusim.spec import GPUSpec, RTX_3080_TI
+from ..gpusim.warp import thread_mode_cycles
+from ._boruvka_common import boruvka_round, graph_flood_iterations
+
+__all__ = ["cugraph_mst"]
+
+_NEIGHBOR_CYCLES = 8.0  # color loads, weight compare, key build
+_VERTEX_CYCLES = 8.0
+_PROP_VERTEX_CYCLES = 3.0
+_FRAMEWORK_LAUNCH_FACTOR = 3  # RAFT primitives decompose each logical
+# step into multiple kernel launches (scan/reduce/transform pipelines)
+
+
+def cugraph_mst(
+    graph: CSRGraph,
+    *,
+    gpu: GPUSpec = RTX_3080_TI,
+    precision: str = "double",
+) -> MstResult:
+    """Compute the MSF with the cuGraph-style strategy.
+
+    ``precision`` selects the modeled weight width: ``"double"``
+    (8-byte, the Table-4 configuration) or ``"float"`` (4-byte).
+    """
+    if precision not in ("double", "float"):
+        raise ValueError("precision must be 'double' or 'float'")
+    weight_bytes = 8.0 if precision == "double" else 4.0
+
+    device = Device(gpu)
+    n = graph.num_vertices
+    src = graph.edge_sources().astype(np.int64)
+    dst = graph.col_idx.astype(np.int64)
+    w = graph.weights.astype(np.int64)
+    eid = graph.edge_ids.astype(np.int64)
+    degrees = graph.degrees()
+    dmax = int(degrees.max()) if degrees.size else 0
+    m_slots = graph.num_directed_edges
+
+    comp = np.arange(n, dtype=np.int64)
+    in_mst = np.zeros(graph.num_edges, dtype=bool)
+    rounds = 0
+
+    while True:
+        rounds += 1
+        # Topology-driven: the full edge set is scanned every round.
+        rnd = boruvka_round(src, dst, w, eid, comp)
+        in_mst[rnd.winner_eids] = True
+
+        for i in range(_FRAMEWORK_LAUNCH_FACTOR):
+            device.launch(
+                f"min_edge_pass{i}",
+                items=m_slots,
+                cycles=thread_mode_cycles(degrees, _NEIGHBOR_CYCLES / _FRAMEWORK_LAUNCH_FACTOR)
+                + n * _VERTEX_CYCLES / _FRAMEWORK_LAUNCH_FACTOR,
+                bytes_=(20.0 + 2.0 * weight_bytes) * m_slots / _FRAMEWORK_LAUNCH_FACTOR,
+                atomics=(2 * rnd.cross_edges) // _FRAMEWORK_LAUNCH_FACTOR,
+                atomic_max_contention=min(rnd.atomic_contention, dmax),
+                critical_items=dmax // _FRAMEWORK_LAUNCH_FACTOR,
+            )
+        device.launch(
+            "supervertex_merge",
+            items=n,
+            cycles=n * 5.0,
+            bytes_=16.0 * n,
+            atomics=int(rnd.winner_eids.size),
+        )
+        # Color propagation floods labels one hop per kernel over the
+        # graph edges until no color changes (a device->host flag check
+        # per step).  The measured iteration count is the merged
+        # components' hop-diameter: deep on road networks, which is
+        # exactly cuGraph's Table-4 signature (3.7 s on europe_osm).
+        flood = graph_flood_iterations(src, dst, comp, rnd.new_comp)
+        for _ in range(max(1, flood)):
+            device.launch(
+                "color_propagation",
+                items=m_slots,
+                cycles=n * _PROP_VERTEX_CYCLES,
+                bytes_=(6.0 + weight_bytes) * m_slots,
+            )
+            device.host_sync()
+        device.host_sync()
+
+        comp = rnd.new_comp
+        if rnd.cross_edges == 0:
+            break
+
+    table = np.zeros(graph.num_edges, dtype=np.int64)
+    table[eid] = w
+    total = int(table[in_mst].sum()) if in_mst.any() else 0
+    return MstResult(
+        graph=graph,
+        in_mst=in_mst,
+        total_weight=total,
+        num_mst_edges=int(np.count_nonzero(in_mst)),
+        rounds=rounds,
+        modeled_seconds=device.elapsed_seconds,
+        counters=device.counters,
+        algorithm=f"cugraph-{precision}",
+        extra={"precision": precision},
+    )

@@ -1,0 +1,13 @@
+"""Baseline-specific error types."""
+
+from __future__ import annotations
+
+__all__ = ["NotConnectedError"]
+
+
+class NotConnectedError(ValueError):
+    """Input has multiple connected components but the code is MST-only.
+
+    The paper reports these cells as "NC": the Jucele and Gunrock codes
+    can compute MSTs but not MSFs (Section 4).
+    """

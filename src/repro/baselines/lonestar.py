@@ -1,0 +1,102 @@
+"""Lonestar CPU baseline (Galois Borůvka).
+
+The Lonestar CPU code "runs over the set of disconnected components and
+loops over their edges": each round, a read-only pass determines the
+lightest outgoing edge of every live component, then a lock-free pass
+merges components through the disjoint-set structure — no graph
+contraction, so the *same* adjacency lists are rescanned every round
+even as most of their edges become internal.  Combined with runtime
+scheduling overhead and imbalance from giant components, this is the
+slowest parallel CPU code in Tables 3/4 (slower than serial PBBS on
+several inputs), which the model reproduces by capping the effective
+parallelism at ``total work / largest component's work``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import MstResult
+from ..graph.csr import CSRGraph
+from ..gpusim.costmodel import CpuMachine
+from ..gpusim.spec import CPUSpec, XEON_GOLD_6226R_X2
+from ._boruvka_common import boruvka_round
+
+__all__ = ["lonestar_cpu_mst"]
+
+_EDGE_OPS = 380.0  # per scanned slot: runtime task overhead + DSU reads
+_MERGE_OPS = 120.0
+_ROUND_SYNCS = 4  # scheduler epochs per round
+
+
+def lonestar_cpu_mst(
+    graph: CSRGraph, *, cpu: CPUSpec = XEON_GOLD_6226R_X2, threads: int = 0
+) -> MstResult:
+    """Compute the MSF with the Lonestar strategy on the CPU model."""
+    machine = CpuMachine(cpu, threads)
+    n = graph.num_vertices
+    src = graph.edge_sources().astype(np.int64)
+    dst = graph.col_idx.astype(np.int64)
+    w = graph.weights.astype(np.int64)
+    eid = graph.edge_ids.astype(np.int64)
+    degrees = graph.degrees()
+
+    comp = np.arange(n, dtype=np.int64)
+    in_mst = np.zeros(graph.num_edges, dtype=bool)
+    live = np.ones(n, dtype=bool)  # vertices in components still merging
+    rounds = 0
+
+    while True:
+        rounds += 1
+        slot_live = live[src]
+        s, d = src[slot_live], dst[slot_live]
+        ws, es = w[slot_live], eid[slot_live]
+        scanned = int(s.size)
+        if scanned == 0:
+            break
+
+        rnd = boruvka_round(s, d, ws, es, comp)
+        in_mst[rnd.winner_eids] = True
+
+        # Imbalance: one Galois task per component; the heaviest
+        # component bounds the round's parallel speedup.
+        comp_work = np.bincount(comp[src[slot_live]], minlength=n)
+        max_comp = float(comp_work.max()) if scanned else 1.0
+        balance = max(1.0, scanned / max(max_comp, 1.0))
+        eff_threads = min(machine.threads, balance)
+        machine.phase(
+            "find_lightest",
+            ops=_EDGE_OPS * scanned * (machine.threads / max(eff_threads, 1.0)),
+            bytes_=16.0 * scanned,
+            items=scanned,
+            syncs=_ROUND_SYNCS,
+        )
+        machine.phase(
+            "merge",
+            ops=_MERGE_OPS * int(rnd.winner_eids.size) + 6.0 * n,
+            bytes_=8.0 * n,
+            items=int(rnd.winner_eids.size),
+            syncs=1,
+        )
+
+        comp = rnd.new_comp
+        if rnd.cross_edges == 0:
+            break
+        cross_slot = comp[src] != comp[dst]
+        live = np.zeros(n, dtype=bool)
+        live[src[cross_slot]] = True
+        live[dst[cross_slot]] = True
+
+    table = np.zeros(graph.num_edges, dtype=np.int64)
+    table[eid] = w
+    total = int(table[in_mst].sum()) if in_mst.any() else 0
+    return MstResult(
+        graph=graph,
+        in_mst=in_mst,
+        total_weight=total,
+        num_mst_edges=int(np.count_nonzero(in_mst)),
+        rounds=rounds,
+        modeled_seconds=machine.elapsed_seconds,
+        counters=machine.counters,
+        algorithm="lonestar-cpu",
+    )

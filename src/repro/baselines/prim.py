@@ -1,0 +1,88 @@
+"""Prim's algorithm (binary heap) — the third classic, for completeness.
+
+Prim relies on the cut property and grows a single tree, which makes it
+inherently serial (Section 1); the paper cites Setia et al.'s
+multi-start parallelization but does not benchmark a Prim code, so this
+module serves the library API, the tests and the examples rather than
+a paper table.  MSF support comes from restarting on every unvisited
+vertex.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.result import MstResult
+from ..graph.csr import CSRGraph
+from ..gpusim.costmodel import CpuMachine
+from ..gpusim.spec import CPUSpec, XEON_GOLD_6226R_X2
+
+__all__ = ["prim_mst"]
+
+_HEAP_OPS = 30.0  # per push/pop: log-factor folded into the count below
+_EDGE_OPS = 10.0
+
+
+def prim_mst(graph: CSRGraph, *, cpu: CPUSpec = XEON_GOLD_6226R_X2) -> MstResult:
+    """Compute the MSF with lazy-deletion heap Prim.
+
+    Deterministic tie-break: the heap orders by ``(weight, edge ID)``,
+    matching the packed-key order of the rest of the library, so the
+    selected edge set equals the unique reference MSF.
+    """
+    machine = CpuMachine(cpu)
+    n = graph.num_vertices
+    in_mst = np.zeros(graph.num_edges, dtype=bool)
+    visited = np.zeros(n, dtype=bool)
+    row_ptr, col, w, eids = graph.row_ptr, graph.col_idx, graph.weights, graph.edge_ids
+
+    heap_ops = 0
+    edge_scans = 0
+
+    for start in range(n):
+        if visited[start]:
+            continue
+        visited[start] = True
+        heap: list[tuple[int, int, int, int]] = []
+        for j in range(row_ptr[start], row_ptr[start + 1]):
+            heapq.heappush(heap, (int(w[j]), int(eids[j]), int(col[j]), start))
+            heap_ops += 1
+        edge_scans += int(row_ptr[start + 1] - row_ptr[start])
+        while heap:
+            wt, eid, v, _u = heapq.heappop(heap)
+            heap_ops += 1
+            if visited[v]:
+                continue
+            visited[v] = True
+            in_mst[eid] = True
+            for j in range(row_ptr[v], row_ptr[v + 1]):
+                t = int(col[j])
+                if not visited[t]:
+                    heapq.heappush(heap, (int(w[j]), int(eids[j]), t, v))
+                    heap_ops += 1
+            edge_scans += int(row_ptr[v + 1] - row_ptr[v])
+
+    log_v = max(1.0, np.log2(max(n, 2)))
+    machine.phase(
+        "prim",
+        ops=_HEAP_OPS * heap_ops * log_v / 8.0 + _EDGE_OPS * edge_scans,
+        bytes_=16.0 * heap_ops + 8.0 * edge_scans,
+        items=edge_scans,
+        serial=True,
+    )
+
+    table = np.zeros(graph.num_edges, dtype=np.int64)
+    table[graph.edge_ids] = graph.weights
+    total = int(table[in_mst].sum()) if in_mst.any() else 0
+    return MstResult(
+        graph=graph,
+        in_mst=in_mst,
+        total_weight=total,
+        num_mst_edges=int(np.count_nonzero(in_mst)),
+        rounds=1,
+        modeled_seconds=machine.elapsed_seconds,
+        counters=machine.counters,
+        algorithm="prim",
+    )

@@ -1,0 +1,252 @@
+"""Declarative experiment definitions — one per paper table/figure.
+
+Every function regenerates one artifact of the paper's evaluation
+(Section 5) on the scaled synthetic suite.  The CLI
+(``python -m repro <experiment>``) and the pytest benchmarks in
+``benchmarks/`` are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.registry import TABLE_CODES
+from ..core.config import DEOPT_STAGE_NAMES, EclMstConfig, deopt_stages
+from ..core.eclmst import ecl_mst
+from ..generators import suite as suite_mod
+from ..graph.csr import CSRGraph
+from .figures import (
+    BoxStats,
+    filter_accuracy_series,
+    render_filter_accuracy_figure,
+    render_seed_figure,
+    render_throughput_figure,
+    seed_sweep,
+)
+from .harness import SYSTEM1, SYSTEM2, GridResult, SystemSpec, run_grid
+from .tables import render_deopt_table, render_runtime_table, render_table2
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "build_suite",
+    "exp_table2",
+    "exp_degree_correlation",
+    "exp_runtime_table",
+    "exp_throughput_figure",
+    "exp_deopt",
+    "exp_seed_variability",
+    "exp_filter_accuracy",
+    "exp_kernel_profile",
+    "EXPERIMENTS",
+]
+
+DEFAULT_SCALE = 1.0
+
+_suite_cache: dict[tuple[float, int], dict[str, CSRGraph]] = {}
+
+
+def build_suite(scale: float = DEFAULT_SCALE, seed: int = 0) -> dict[str, CSRGraph]:
+    """Build (and memoize) the 17-input suite at ``scale``."""
+    key = (scale, seed)
+    if key not in _suite_cache:
+        _suite_cache[key] = suite_mod.build_all(scale=scale, seed=seed)
+    return _suite_cache[key]
+
+
+def _system_codes(system: SystemSpec) -> tuple[str, ...]:
+    # cuGraph "is incompatible with System 1, so we only compare to it
+    # on System 2" (Section 4).
+    if system is SYSTEM1:
+        return tuple(c for c in TABLE_CODES if not c.startswith("cuGraph"))
+    return TABLE_CODES
+
+
+def exp_table2(scale: float = DEFAULT_SCALE) -> str:
+    """Table 2: the input inventory."""
+    return render_table2(build_suite(scale))
+
+
+_grid_cache: dict[tuple[str, float], GridResult] = {}
+
+
+def _runtime_grid(system: SystemSpec, scale: float, verify: bool = False) -> GridResult:
+    key = (system.name, scale)
+    if key not in _grid_cache:
+        _grid_cache[key] = run_grid(
+            _system_codes(system), build_suite(scale), system, verify=verify
+        )
+    return _grid_cache[key]
+
+
+def exp_runtime_table(system: int = 2, scale: float = DEFAULT_SCALE) -> str:
+    """Tables 3/4: the full code × input runtime grid on one system."""
+    sysspec = SYSTEM1 if system == 1 else SYSTEM2
+    grid = _runtime_grid(sysspec, scale)
+    return (
+        f"{sysspec.name} computation times in seconds (modeled)\n\n"
+        + render_runtime_table(grid, _system_codes(sysspec))
+    )
+
+
+def exp_throughput_figure(system: int = 2, scale: float = DEFAULT_SCALE) -> str:
+    """Figures 3/4: throughput in Medges/s on one system."""
+    sysspec = SYSTEM1 if system == 1 else SYSTEM2
+    grid = _runtime_grid(sysspec, scale)
+    return render_throughput_figure(
+        grid,
+        _system_codes(sysspec),
+        title=f"{sysspec.name} throughput (millions of edges per second)",
+    )
+
+
+def exp_deopt(
+    scale: float = DEFAULT_SCALE, *, as_figure: bool = False
+) -> str:
+    """Table 5 / Figure 5: the cumulative de-optimization study.
+
+    Runs on System 2 (the faster GPU), MST inputs only, exactly as the
+    paper does.
+    """
+    graphs = build_suite(scale)
+    # The paper's Table 5 uses the 9 single-component inputs.
+    input_names = tuple(
+        n for n in graphs if suite_mod.SUITE[n].single_component
+    )
+    times: dict[tuple[str, str], float] = {}
+    tputs: dict[tuple[str, str], float] = {}
+    for stage_name, cfg in deopt_stages():
+        for gname in input_names:
+            g = graphs[gname]
+            r = ecl_mst(g, cfg, gpu=SYSTEM2.gpu)
+            times[(stage_name, gname)] = r.modeled_seconds
+            tputs[(stage_name, gname)] = r.throughput_meps()
+    if not as_figure:
+        return (
+            "Table 5: ECL-MST computation times in seconds when gradually "
+            "removing performance optimizations (System 2, modeled)\n\n"
+            + render_deopt_table(DEOPT_STAGE_NAMES, times, input_names)
+        )
+    # Figure 5: throughputs per stage per input (CSV).
+    lines = ["input," + ",".join(DEOPT_STAGE_NAMES)]
+    for gname in input_names:
+        lines.append(
+            f"{gname},"
+            + ",".join(f"{tputs[(s, gname)]:.1f}" for s in DEOPT_STAGE_NAMES)
+        )
+    return "\n".join(lines)
+
+
+def exp_seed_variability(
+    scale: float = DEFAULT_SCALE, *, seeds: int = 99
+) -> str:
+    """Figure 6: throughput across random filter-sampling seeds."""
+    graphs = build_suite(scale)
+    stats: dict[str, BoxStats] = {}
+    for name, g in graphs.items():
+        stats[name], _ = seed_sweep(g, seeds=seeds, gpu=SYSTEM2.gpu)
+    return render_seed_figure(stats)
+
+
+def exp_filter_accuracy(scale: float = DEFAULT_SCALE) -> str:
+    """Figure 7: realized vs target filter cut (filtered inputs only)."""
+    series = filter_accuracy_series(build_suite(scale))
+    return render_filter_accuracy_figure(series)
+
+
+def exp_kernel_profile(scale: float = DEFAULT_SCALE) -> str:
+    """Section 5.1 profiling claims: per-kernel time split and launch
+    counts (init ≈ 40%, kernel 1 ≈ 35%, kernels 2/3 ≈ 12% each; between
+    4 and 15 computation rounds depending on input)."""
+    graphs = build_suite(scale)
+    lines = [
+        "input,init_pct,k1_pct,k2_pct,k3_pct,k1_launches,rounds",
+    ]
+    for name, g in graphs.items():
+        r = ecl_mst(g, EclMstConfig(), gpu=SYSTEM2.gpu)
+        by_kernel = r.counters.seconds_by_kernel()
+        total = r.modeled_seconds
+        pct = lambda k: 100.0 * by_kernel.get(k, 0.0) / total  # noqa: E731
+        lines.append(
+            f"{name},{pct('init'):.1f},{pct('k1_reserve'):.1f},"
+            f"{pct('k2_union'):.1f},{pct('k3_reset'):.1f},"
+            f"{r.counters.launches_of('k1_reserve')},{r.rounds}"
+        )
+    return "\n".join(lines)
+
+
+def exp_degree_correlation(scale: float = DEFAULT_SCALE) -> str:
+    """Section 5.2 claim: "ECL-MST's throughput [correlates] with the
+    average degree ... disqualifying an edge from the MST is faster
+    than including an edge."  Computes the per-input throughput vs
+    average degree and their Pearson correlation."""
+    import numpy as np
+
+    graphs = build_suite(scale)
+    lines = ["input,avg_degree,throughput_meps"]
+    degs, tputs = [], []
+    for name, g in graphs.items():
+        r = ecl_mst(g, EclMstConfig(), gpu=SYSTEM2.gpu)
+        davg = g.num_directed_edges / max(1, g.num_vertices)
+        t = r.throughput_meps()
+        degs.append(davg)
+        tputs.append(t)
+        lines.append(f"{name},{davg:.1f},{t:.1f}")
+    corr = float(np.corrcoef(degs, tputs)[0, 1])
+    lines.append(f"pearson_correlation,,{corr:.3f}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """CLI binding of one paper artifact."""
+
+    key: str
+    description: str
+    run: callable
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "table2": Experiment("table2", "Input inventory (Table 2)", exp_table2),
+    "table3": Experiment(
+        "table3",
+        "System 1 runtimes (Table 3)",
+        lambda scale=DEFAULT_SCALE: exp_runtime_table(1, scale),
+    ),
+    "table4": Experiment(
+        "table4",
+        "System 2 runtimes (Table 4)",
+        lambda scale=DEFAULT_SCALE: exp_runtime_table(2, scale),
+    ),
+    "table5": Experiment(
+        "table5", "De-optimization runtimes (Table 5)", exp_deopt
+    ),
+    "fig3": Experiment(
+        "fig3",
+        "System 1 throughput (Figure 3)",
+        lambda scale=DEFAULT_SCALE: exp_throughput_figure(1, scale),
+    ),
+    "fig4": Experiment(
+        "fig4",
+        "System 2 throughput (Figure 4)",
+        lambda scale=DEFAULT_SCALE: exp_throughput_figure(2, scale),
+    ),
+    "fig5": Experiment(
+        "fig5",
+        "De-optimization throughput (Figure 5)",
+        lambda scale=DEFAULT_SCALE: exp_deopt(scale, as_figure=True),
+    ),
+    "fig6": Experiment(
+        "fig6", "Seed variability (Figure 6)", exp_seed_variability
+    ),
+    "fig7": Experiment(
+        "fig7", "Filter-threshold accuracy (Figure 7)", exp_filter_accuracy
+    ),
+    "profile": Experiment(
+        "profile", "Per-kernel time split (Section 5.1)", exp_kernel_profile
+    ),
+    "degcorr": Experiment(
+        "degcorr",
+        "Throughput vs average degree (Section 5.2)",
+        exp_degree_correlation,
+    ),
+}

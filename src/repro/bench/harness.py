@@ -1,0 +1,161 @@
+"""Experiment harness: run code × input grids and aggregate like the paper.
+
+The paper's protocol (Section 4): median of 9 repetitions, computation
+time only (transfers excluded, with a separate "memcpy" row for
+ECL-MST), "NC" for MST-only codes on multi-component inputs, and two
+geometric means — over all inputs (MSF) and over the single-component
+inputs (MST) so the MST-only codes can be compared fairly.
+
+Modeled times are deterministic, so the default repetition count is 1;
+pass ``repetitions=9`` to reproduce the exact protocol (the median of
+identical values is that value — the knob matters only when callers
+time real wall-clock execution via ``measure="wall"``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..baselines.errors import NotConnectedError
+from ..baselines.registry import Runner, get_runner
+from ..core.result import MstResult
+from ..graph.csr import CSRGraph
+from ..gpusim.spec import (
+    CPUSpec,
+    GPUSpec,
+    RTX_3080_TI,
+    THREADRIPPER_2950X,
+    TITAN_V,
+    XEON_GOLD_6226R_X2,
+)
+
+__all__ = ["SystemSpec", "SYSTEM1", "SYSTEM2", "Cell", "GridResult", "run_grid", "geomean"]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One of the paper's two test systems."""
+
+    name: str
+    gpu: GPUSpec
+    cpu: CPUSpec
+
+
+SYSTEM1 = SystemSpec("System 1 (Titan V + TR 2950X)", TITAN_V, THREADRIPPER_2950X)
+SYSTEM2 = SystemSpec("System 2 (RTX 3080 Ti + 2x Xeon)", RTX_3080_TI, XEON_GOLD_6226R_X2)
+
+
+@dataclass
+class Cell:
+    """One (code, input) measurement."""
+
+    code: str
+    graph_name: str
+    seconds: float | None  # None -> NC
+    memcpy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    result: MstResult | None = None
+
+    @property
+    def is_nc(self) -> bool:
+        return self.seconds is None
+
+    def throughput_meps(self, directed_edges: int) -> float | None:
+        """Millions of edges per second (Figures 3/4 units)."""
+        if self.seconds is None or self.seconds <= 0:
+            return None
+        return directed_edges / self.seconds / 1e6
+
+
+@dataclass
+class GridResult:
+    """All cells of one experiment grid, plus the input graphs."""
+
+    system: SystemSpec
+    graphs: dict[str, CSRGraph]
+    cells: dict[tuple[str, str], Cell] = field(default_factory=dict)
+
+    def cell(self, code: str, graph_name: str) -> Cell:
+        return self.cells[(code, graph_name)]
+
+    def column(self, code: str) -> list[Cell]:
+        return [self.cells[(code, g)] for g in self.graphs]
+
+    def geomean_seconds(self, code: str, *, mst_only_names: set[str] | None = None) -> float | None:
+        """Geometric mean runtime of a code over (a subset of) inputs.
+
+        ``mst_only_names``: restrict to the single-component inputs
+        (the "MST GeoMean" rows); ``None`` uses every input the code
+        could run (the "MSF GeoMean" rows — NC anywhere means no MSF
+        geomean for that code, as in the paper).
+        """
+        cells = self.column(code)
+        if mst_only_names is not None:
+            cells = [c for c in cells if c.graph_name in mst_only_names]
+        vals = [c.seconds for c in cells]
+        if any(v is None for v in vals):
+            return None
+        return geomean([v for v in vals if v is not None])
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (values must be positive)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    return statistics.geometric_mean(values)
+
+
+def run_cell(
+    runner: Runner,
+    graph: CSRGraph,
+    system: SystemSpec,
+    *,
+    repetitions: int = 1,
+    verify: bool = False,
+) -> Cell:
+    """Run one code on one input; returns an NC cell when unsupported."""
+    times: list[float] = []
+    walls: list[float] = []
+    result: MstResult | None = None
+    try:
+        for _ in range(max(1, repetitions)):
+            t0 = time.perf_counter()
+            result = runner.run(graph, gpu=system.gpu, cpu=system.cpu)
+            walls.append(time.perf_counter() - t0)
+            times.append(result.modeled_seconds)
+    except NotConnectedError:
+        return Cell(runner.name, graph.name, seconds=None)
+    if verify and result is not None:
+        from ..core.verify import verify_mst
+
+        verify_mst(result)
+    assert result is not None
+    return Cell(
+        code=runner.name,
+        graph_name=graph.name,
+        seconds=statistics.median(times),
+        memcpy_seconds=result.memcpy_seconds,
+        wall_seconds=statistics.median(walls),
+        result=result,
+    )
+
+
+def run_grid(
+    codes: tuple[str, ...],
+    graphs: dict[str, CSRGraph],
+    system: SystemSpec,
+    *,
+    repetitions: int = 1,
+    verify: bool = False,
+) -> GridResult:
+    """Run every code on every input on the given system."""
+    grid = GridResult(system=system, graphs=graphs)
+    for code in codes:
+        runner = get_runner(code)
+        for name, graph in graphs.items():
+            grid.cells[(code, name)] = run_cell(
+                runner, graph, system, repetitions=repetitions, verify=verify
+            )
+    return grid

@@ -1,0 +1,155 @@
+"""One-command reproduction report.
+
+:func:`generate_report` runs the full evaluation (both systems, the
+de-optimization ladder, the §5.1/§5.2 claims) and writes a single
+markdown document with measured-vs-paper deltas — the automated version
+of EXPERIMENTS.md's tables.  Exposed as ``repro-mst report``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from pathlib import Path
+
+from ..baselines.registry import TABLE_CODES
+from ..core.config import deopt_stages
+from ..core.eclmst import ecl_mst
+from ..generators import suite as suite_mod
+from .experiments import build_suite, exp_degree_correlation
+from .harness import SYSTEM1, SYSTEM2, run_grid, geomean
+
+__all__ = ["generate_report", "PAPER_GEOMEAN_RATIOS", "PAPER_DEOPT_RATIOS"]
+
+# Paper geomean ratios vs ECL-MST: {system: {code: (msf, mst)}}.
+PAPER_GEOMEAN_RATIOS = {
+    1: {
+        "Jucele GPU": (None, 4.6),
+        "Gunrock GPU": (None, 6.9),
+        "UMinho GPU": (38.6, 17.1),
+        "Lonestar CPU": (241.6, 259.3),
+        "PBBS CPU": (32.4, 49.5),
+        "UMinho CPU": (46.4, 39.1),
+        "PBBS Ser.": (138.2, 183.7),
+    },
+    2: {
+        "Jucele GPU": (None, 4.4),
+        "Gunrock GPU": (None, 8.5),
+        "cuGraph GPU": (12.8, 21.7),
+        "UMinho GPU": (46.4, 18.4),
+        "Lonestar CPU": (423.6, 455.4),
+        "PBBS CPU": (27.3, 43.7),
+        "UMinho CPU": (71.5, 58.8),
+        "PBBS Ser.": (241.4, 320.7),
+    },
+}
+
+# Table 5 cumulative slowdowns vs fully-optimized ECL-MST.
+PAPER_DEOPT_RATIOS = (1.00, 1.27, 1.39, 1.80, 2.84, 4.61, 6.14, 5.80, 8.14)
+
+
+def _fmt(x: float | None) -> str:
+    return "NC" if x is None else f"{x:.1f}x"
+
+
+def generate_report(
+    path: str | Path | None = None, *, scale: float = 1.0
+) -> str:
+    """Run the evaluation and return (and optionally write) the report."""
+    graphs = build_suite(scale)
+    mst_names = {n for n in graphs if suite_mod.SUITE[n].single_component}
+    lines: list[str] = [
+        "# Reproduction report",
+        "",
+        f"Suite scale: {scale}  ·  {len(graphs)} inputs "
+        f"({len(mst_names)} single-component)",
+        "",
+    ]
+
+    for sysno, system in ((1, SYSTEM1), (2, SYSTEM2)):
+        codes = tuple(
+            c for c in TABLE_CODES if sysno == 2 or not c.startswith("cuGraph")
+        )
+        grid = run_grid(codes, graphs, system)
+        ecl_msf = grid.geomean_seconds("ECL-MST")
+        ecl_mst_gm = grid.geomean_seconds("ECL-MST", mst_only_names=mst_names)
+        lines += [
+            f"## {system.name}",
+            "",
+            f"ECL-MST geomean: {ecl_mst_gm * 1e6:.1f} µs (MST inputs), "
+            f"{ecl_msf * 1e6:.1f} µs (all inputs)",
+            "",
+            "| Code | MST meas. | MST paper | MSF meas. | MSF paper |",
+            "|---|---|---|---|---|",
+        ]
+        fastest_everywhere = True
+        for code in codes[1:]:
+            mst_r = grid.geomean_seconds(code, mst_only_names=mst_names)
+            msf_r = grid.geomean_seconds(code)
+            pm, pt = PAPER_GEOMEAN_RATIOS[sysno].get(code, (None, None))
+            lines.append(
+                f"| {code} | {_fmt(mst_r / ecl_mst_gm if mst_r else None)} "
+                f"| {_fmt(pt)} | {_fmt(msf_r / ecl_msf if msf_r else None)} "
+                f"| {_fmt(pm)} |"
+            )
+            for name in graphs:
+                cell = grid.cell(code, name)
+                mine = grid.cell("ECL-MST", name)
+                if cell.seconds is not None and cell.seconds < mine.seconds:
+                    fastest_everywhere = False
+        lines += [
+            "",
+            f"ECL-MST fastest on every input: "
+            f"{'yes' if fastest_everywhere else 'NO'}",
+            "",
+        ]
+
+    # De-optimization ladder.
+    lines += [
+        "## De-optimization ladder (System 2, MST inputs)",
+        "",
+        "| Stage | Measured | Paper |",
+        "|---|---|---|",
+    ]
+    base = None
+    for (name, cfg), paper in zip(deopt_stages(), PAPER_DEOPT_RATIOS):
+        gm = geomean(
+            [
+                ecl_mst(graphs[g], cfg, gpu=SYSTEM2.gpu).modeled_seconds
+                for g in sorted(mst_names)
+            ]
+        )
+        if base is None:
+            base = gm
+        lines.append(f"| {name} | {gm / base:.2f}x | {paper:.2f}x |")
+
+    # §5.2 degree correlation.
+    corr_out = exp_degree_correlation(scale)
+    corr = corr_out.splitlines()[-1].split(",")[-1]
+    lines += [
+        "",
+        "## Section 5.2 — throughput vs average degree",
+        "",
+        f"Pearson correlation across the suite: **{corr}** "
+        "(paper: 'significantly correlate[s]').",
+        "",
+    ]
+
+    # §5.1 profile medians.
+    inits, k1s = [], []
+    for g in graphs.values():
+        r = ecl_mst(g, gpu=SYSTEM2.gpu)
+        by = r.counters.seconds_by_kernel()
+        inits.append(100 * by.get("init", 0.0) / r.modeled_seconds)
+        k1s.append(100 * by.get("k1_reserve", 0.0) / r.modeled_seconds)
+    lines += [
+        "## Section 5.1 — kernel profile",
+        "",
+        f"Median init share {statistics.median(inits):.0f}% (paper ~40%), "
+        f"median kernel-1 share {statistics.median(k1s):.0f}% (paper ~35%).",
+        "",
+    ]
+
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text

@@ -1,0 +1,143 @@
+"""Text renderers for the paper's tables.
+
+Each function returns the table as a string (and the underlying rows
+for programmatic use), formatted like the paper: runtimes in seconds
+with four decimals, "NC" cells, and the two geometric-mean rows.
+"""
+
+from __future__ import annotations
+
+from ..generators import suite as suite_mod
+from ..graph.properties import graph_info
+from .harness import GridResult, geomean
+
+__all__ = [
+    "render_table2",
+    "render_runtime_table",
+    "render_deopt_table",
+    "format_seconds",
+]
+
+
+def format_seconds(value: float | None) -> str:
+    if value is None:
+        return "NC"
+    return f"{value:.4f}"
+
+
+def _render_grid(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w) for i, (c, w) in enumerate(zip(cells, widths)))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_table2(graphs: dict) -> str:
+    """Table 2: input inventory (edges, vertices, type, CCs, degrees)."""
+    headers = ["Graph Name", "Edges", "Vertices", "Type", "CCs", "d-avg", "d-max"]
+    rows = []
+    for name, g in graphs.items():
+        kind = (
+            suite_mod.SUITE[name].kind if name in suite_mod.SUITE else "custom"
+        )
+        info = graph_info(g, kind)
+        rows.append(
+            [
+                info.name,
+                f"{info.num_edges:,}",
+                f"{info.num_vertices:,}",
+                info.kind,
+                f"{info.num_components:,}",
+                f"{info.avg_degree:.1f}",
+                f"{info.max_degree:,}",
+            ]
+        )
+    return _render_grid(headers, rows)
+
+
+def render_runtime_table(
+    grid: GridResult,
+    codes: tuple[str, ...],
+    *,
+    include_memcpy_column: bool = True,
+) -> str:
+    """Tables 3/4: computation times in seconds per code per input.
+
+    The "ECL-MST memcpy" column (computation + host↔device transfers)
+    is derived from the ECL-MST cells, exactly as in the paper.
+    """
+    mst_names = {
+        n for n in grid.graphs if suite_mod.SUITE.get(n) and suite_mod.SUITE[n].single_component
+    }
+    headers = ["Input"]
+    for code in codes:
+        headers.append(code)
+        if code == "ECL-MST" and include_memcpy_column:
+            headers.append("ECL-MST memcpy")
+
+    rows = []
+    for name in grid.graphs:
+        row = [name]
+        for code in codes:
+            cell = grid.cell(code, name)
+            row.append(format_seconds(cell.seconds))
+            if code == "ECL-MST" and include_memcpy_column:
+                mem = (
+                    None
+                    if cell.seconds is None
+                    else cell.seconds + cell.memcpy_seconds
+                )
+                row.append(format_seconds(mem))
+        rows.append(row)
+
+    for label, subset in (("MSF GeoMean", None), ("MST GeoMean", mst_names)):
+        row = [label]
+        for code in codes:
+            gm = grid.geomean_seconds(code, mst_only_names=subset)
+            row.append(format_seconds(gm))
+            if code == "ECL-MST" and include_memcpy_column:
+                cells = grid.column(code)
+                if subset is not None:
+                    cells = [c for c in cells if c.graph_name in subset]
+                vals = [
+                    c.seconds + c.memcpy_seconds
+                    for c in cells
+                    if c.seconds is not None
+                ]
+                row.append(
+                    format_seconds(geomean(vals))
+                    if len(vals) == len(cells)
+                    else "NC"
+                )
+        rows.append(row)
+    return _render_grid(headers, rows)
+
+
+def render_deopt_table(
+    stage_names: tuple[str, ...],
+    times: dict[tuple[str, str], float],
+    input_names: tuple[str, ...],
+) -> str:
+    """Table 5: per-stage runtimes on the MST inputs + geomean row.
+
+    ``times[(stage, input)]`` holds modeled seconds.
+    """
+    headers = ["Input", *stage_names]
+    rows = []
+    for name in input_names:
+        rows.append(
+            [name, *(format_seconds(times[(s, name)]) for s in stage_names)]
+        )
+    gm_row = ["MST GeoMean"]
+    for s in stage_names:
+        gm_row.append(
+            format_seconds(geomean([times[(s, n)] for n in input_names]))
+        )
+    rows.append(gm_row)
+    return _render_grid(headers, rows)

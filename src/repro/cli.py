@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-mst exp <key> [--scale S] [--seeds N]   # regenerate a paper artifact
+    repro-mst exp list                            # available experiments
+    repro-mst exp all                             # everything
+    repro-mst run <code> <input> [--system 1|2]   # one code on one input
+    repro-mst codes                               # available MST codes
+    repro-mst inputs                              # the 17-input suite
+    repro-mst artifact <dir> [--scale S]          # artifact-style CSV workflow
+    repro-mst report [--out FILE] [--scale S]     # full markdown repro report
+    repro-mst convert <in> <out>                  # graph format conversion
+    repro-mst mst <graphfile> [--out edges.txt]   # MSF of a graph file
+
+For backwards compatibility, a bare experiment key also works:
+``python -m repro table4`` ≡ ``python -m repro exp table4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench.experiments import DEFAULT_SCALE, EXPERIMENTS
+
+__all__ = ["main"]
+
+_FORMAT_LOADERS = {
+    ".ecl": "load_ecl",
+    ".gr": "load_dimacs",
+    ".graph": "load_metis",
+    ".txt": "load_edge_list",
+}
+_FORMAT_SAVERS = {
+    ".ecl": "save_ecl",
+    ".gr": "save_dimacs",
+    ".graph": "save_metis",
+    ".txt": "save_edge_list",
+}
+
+
+def _load_graph(path: str):
+    from . import graph as graph_mod
+
+    suffix = Path(path).suffix
+    loader = _FORMAT_LOADERS.get(suffix)
+    if loader is None:
+        raise SystemExit(
+            f"unknown graph format {suffix!r}; use one of "
+            f"{', '.join(_FORMAT_LOADERS)}"
+        )
+    return getattr(graph_mod, loader)(path)
+
+
+def _save_graph(g, path: str) -> None:
+    from . import graph as graph_mod
+
+    suffix = Path(path).suffix
+    saver = _FORMAT_SAVERS.get(suffix)
+    if saver is None:
+        raise SystemExit(
+            f"unknown graph format {suffix!r}; use one of "
+            f"{', '.join(_FORMAT_SAVERS)}"
+        )
+    getattr(graph_mod, saver)(g, path)
+
+
+def _cmd_exp(args) -> int:
+    if args.key == "list":
+        for key, exp in EXPERIMENTS.items():
+            print(f"{key:10s} {exp.description}")
+        return 0
+    keys = list(EXPERIMENTS) if args.key == "all" else [args.key]
+    for key in keys:
+        if key not in EXPERIMENTS:
+            print(
+                f"unknown experiment {key!r}; try: {', '.join(EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        exp = EXPERIMENTS[key]
+        print(f"== {exp.description} ==")
+        if key == "fig6":
+            print(exp.run(args.scale, seeds=args.seeds))
+        else:
+            print(exp.run(args.scale))
+        print()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .baselines.errors import NotConnectedError
+    from .baselines.registry import get_runner
+    from .bench.harness import SYSTEM1, SYSTEM2
+    from .generators import suite
+
+    system = SYSTEM1 if args.system == 1 else SYSTEM2
+    try:
+        runner = get_runner(args.code)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    g = suite.build(args.input, scale=args.scale)
+    try:
+        r = runner.run(g, gpu=system.gpu, cpu=system.cpu)
+    except NotConnectedError as exc:
+        print(f"NC: {exc}")
+        return 1
+    print(f"{args.code} on {args.input} ({system.name}):")
+    print(f"  edges={r.num_mst_edges} weight={r.total_weight} rounds={r.rounds}")
+    print(
+        f"  modeled {r.modeled_seconds * 1e3:.4f} ms  "
+        f"({r.throughput_meps():,.1f} Medges/s)"
+    )
+    return 0
+
+
+def _cmd_codes(_args) -> int:
+    from .baselines.registry import RUNNERS, TABLE_CODES
+
+    for name, runner in RUNNERS.items():
+        star = "*" if name in TABLE_CODES else " "
+        msf = "MSF" if runner.supports_msf else "MST-only"
+        print(f"{star} {name:22s} {runner.kind:14s} {msf}")
+    print("\n(* = appears in the paper's Tables 3/4)")
+    return 0
+
+
+def _cmd_inputs(args) -> int:
+    from .bench.tables import render_table2
+    from .generators import suite
+
+    print(render_table2(suite.build_all(scale=args.scale)))
+    return 0
+
+
+def _cmd_artifact(args) -> int:
+    from .bench import artifact
+
+    directory = Path(args.directory)
+    print(f"set_up: writing inputs to {directory / 'inputs'}")
+    artifact.set_up(directory / "inputs", scale=args.scale)
+    print("run_all_compare: running every code on every input ...")
+    artifact.run_all_compare(directory, scale=args.scale)
+    print("run_all_deoptimize: running the de-optimization ladder ...")
+    artifact.run_all_deoptimize(directory, scale=args.scale)
+    print(artifact.generate_compare_tables(directory))
+    print(artifact.generate_deopt_tables(directory))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .bench.report import generate_report
+
+    text = generate_report(args.out, scale=args.scale)
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    g = _load_graph(args.src)
+    _save_graph(g, args.dst)
+    print(
+        f"converted {args.src} -> {args.dst} "
+        f"(|V|={g.num_vertices}, |E|={g.num_edges})"
+    )
+    return 0
+
+
+def _cmd_mst(args) -> int:
+    from .core.eclmst import ecl_mst
+
+    g = _load_graph(args.graph)
+    r = ecl_mst(g, verify=args.verify)
+    print(
+        f"MSF of {args.graph}: {r.num_mst_edges} edges, "
+        f"weight {r.total_weight}, {r.rounds} rounds"
+    )
+    if args.out:
+        u, v, w = r.edges()
+        with open(args.out, "w") as f:
+            f.write(f"# MSF of {g.name}: weight {r.total_weight}\n")
+            for i in range(u.size):
+                f.write(f"{u[i]} {v[i]} {w[i]}\n")
+        print(f"edge list written to {args.out}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mst",
+        description="ECL-MST reproduction: regenerate paper artifacts, run "
+        "MST codes, convert graphs.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_exp = sub.add_parser("exp", help="regenerate a paper table/figure")
+    p_exp.add_argument("key", help="experiment key, 'list', or 'all'")
+    p_exp.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_exp.add_argument("--seeds", type=int, default=99)
+    p_exp.set_defaults(fn=_cmd_exp)
+
+    p_run = sub.add_parser("run", help="run one code on one suite input")
+    p_run.add_argument("code")
+    p_run.add_argument("input")
+    p_run.add_argument("--system", type=int, choices=(1, 2), default=2)
+    p_run.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_codes = sub.add_parser("codes", help="list available MST codes")
+    p_codes.set_defaults(fn=_cmd_codes)
+
+    p_inputs = sub.add_parser("inputs", help="show the input suite (Table 2)")
+    p_inputs.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_inputs.set_defaults(fn=_cmd_inputs)
+
+    p_art = sub.add_parser(
+        "artifact", help="run the artifact-style CSV workflow"
+    )
+    p_art.add_argument("directory")
+    p_art.add_argument("--scale", type=float, default=0.25)
+    p_art.set_defaults(fn=_cmd_artifact)
+
+    p_rep = sub.add_parser(
+        "report", help="run the evaluation and emit a markdown report"
+    )
+    p_rep.add_argument("--out", help="write the report to this file")
+    p_rep.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_conv = sub.add_parser("convert", help="convert between graph formats")
+    p_conv.add_argument("src")
+    p_conv.add_argument("dst")
+    p_conv.set_defaults(fn=_cmd_convert)
+
+    p_mst = sub.add_parser("mst", help="compute the MSF of a graph file")
+    p_mst.add_argument("graph")
+    p_mst.add_argument("--out", help="write the MSF edge list here")
+    p_mst.add_argument("--verify", action="store_true")
+    p_mst.set_defaults(fn=_cmd_mst)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: a bare experiment key maps onto the `exp` subcommand.
+    known = {"exp", "run", "codes", "inputs", "artifact", "convert", "mst", "report"}
+    if argv and argv[0] not in known and not argv[0].startswith("-"):
+        argv = ["exp", *argv]
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Per-operation cost constants for the simulated ECL-MST kernels.
+
+Centralizing the constants keeps the calibration story honest: the
+*amount* of work (edges touched, pointer jumps, atomics executed,
+per-warp imbalance) is counted from the actual execution; only these
+per-operation prices are modeled.  They were calibrated once against
+the paper's Table 5 deltas (see EXPERIMENTS.md) and are never tuned
+per input.
+"""
+
+from __future__ import annotations
+
+from .config import EclMstConfig
+
+__all__ = [
+    "INIT_VERTEX_CYCLES",
+    "INIT_NEIGHBOR_CYCLES",
+    "K1_ENTRY_CYCLES",
+    "K2_ENTRY_CYCLES",
+    "K3_ENTRY_CYCLES",
+    "FIND_JUMP_CYCLES",
+    "GUARD_CHECK_CYCLES",
+    "AOS_ENTRY_BYTES",
+    "SOA_ENTRY_BYTES",
+    "AOS_ENTRY_CYCLES",
+    "SOA_ENTRY_CYCLES",
+    "entry_bytes",
+    "entry_access_cycles",
+]
+
+# --- compute prices (cycles per item) ---------------------------------
+INIT_VERTEX_CYCLES = 6.0  # row_ptr loads, degree test, loop setup
+INIT_NEIGHBOR_CYCLES = 5.0  # col/weight load, direction + threshold test
+K1_ENTRY_CYCLES = 8.0  # unpack entry, compare reps, predicate, append
+K2_ENTRY_CYCLES = 7.0  # two minEdge loads, compare, branch
+K3_ENTRY_CYCLES = 3.0  # two scatter stores
+FIND_JUMP_CYCLES = 6.0  # dependent (serializing) global load per jump
+GUARD_CHECK_CYCLES = 2.0  # the plain load + compare of an atomic guard
+
+# A pointer jump is a data-dependent random access: the hardware
+# fetches a whole 32-byte sector for one 8-byte parent entry.
+FIND_JUMP_BYTES = 24.0
+# Scattered single-value accesses (minEdge guards/stores) likewise.
+SCATTER_ACCESS_BYTES = 16.0
+
+# --- memory prices (bytes per worklist entry access) ------------------
+# AoS: one 16-byte vectorized transaction per 4-tuple.
+AOS_ENTRY_BYTES = 16.0
+# SoA ("No Tuples"): four separate 4-byte accesses; even coalesced they
+# quadruple the transaction count and pull four distinct cache lines
+# per entry, so the effective traffic is well above the 16 payload
+# bytes.
+SOA_ENTRY_BYTES = 44.0
+# Instruction-side cost of the same access: 1 vs 4 memory instructions.
+AOS_ENTRY_CYCLES = 2.0
+SOA_ENTRY_CYCLES = 14.0
+
+
+# Adjacency-scan traffic per directed slot in the init kernel: the
+# hybrid scheme lets whole warps stream a vertex's neighbor list
+# (coalesced); one-thread-per-vertex walks are strided and pull extra
+# sectors.
+INIT_SLOT_BYTES_HYBRID = 9.0
+INIT_SLOT_BYTES_THREAD = 18.0
+# Vertex-centric worklist walks are likewise per-thread strided streams.
+VERTEX_CENTRIC_READ_FACTOR = 2.0
+
+
+def entry_bytes(config: EclMstConfig) -> float:
+    """DRAM bytes per worklist-entry read or write under ``config``."""
+    return AOS_ENTRY_BYTES if config.tuple_worklist else SOA_ENTRY_BYTES
+
+
+def entry_access_cycles(config: EclMstConfig) -> float:
+    """Instruction cycles per worklist-entry access under ``config``."""
+    return AOS_ENTRY_CYCLES if config.tuple_worklist else SOA_ENTRY_CYCLES

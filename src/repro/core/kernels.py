@@ -1,0 +1,428 @@
+"""The four ECL-MST kernels (Algs. 1 and 2) on the simulated GPU.
+
+Semantics are exact: the kernels perform the real work with vectorized
+NumPy and order-independent atomic equivalents, so every configuration
+produces the true MSF.  Alongside the work, each kernel *counts* what
+the CUDA threads would have done — CSR bytes touched, worklist entries
+read/written, pointer jumps, atomics executed vs. guard-skipped,
+per-warp imbalance cycles — and reports the counts to the
+:class:`~repro.gpusim.costmodel.Device`, which prices the launch.
+
+Kernel map (paper Alg. 2):
+
+* ``init``       — Alg. 1 + worklist population (Lines 1-11)
+* ``k1_reserve`` — find + cycle discard + atomicMin reservations
+  (Lines 14-23)
+* ``k2_union``   — winner check + union + MST marking (Lines 27-33)
+* ``k3_reset``   — minEdge reset (Lines 34-37)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dsu.vectorized import compress_halving_many, find_many
+from ..graph.csr import CSRGraph
+from ..gpusim.atomics import KEY_INFINITY, atomic_min_u64, pack_keys
+from ..gpusim.costmodel import Device
+from ..gpusim.warp import (
+    edge_centric_cycles,
+    hybrid_cycles,
+    thread_mode_cycles,
+)
+from . import costs
+from .config import EclMstConfig
+from .worklist import EdgeList, Worklist
+
+__all__ = ["MstState", "kernel_init_populate", "kernel1_reserve", "kernel2_union", "kernel3_reset"]
+
+
+@dataclass
+class MstState:
+    """Mutable algorithm state shared by the kernels."""
+
+    graph: CSRGraph
+    config: EclMstConfig
+    device: Device
+    parent: np.ndarray
+    min_edge: np.ndarray
+    in_mst: np.ndarray
+    wl: Worklist = field(default_factory=Worklist)
+    # Representatives computed by the most recent k1/k2, reused by the
+    # next kernel in the same round (the real code re-derives them from
+    # the worklist entries themselves under implicit path compression).
+    _round_p: np.ndarray | None = None
+    _round_q: np.ndarray | None = None
+
+    @classmethod
+    def create(cls, graph: CSRGraph, config: EclMstConfig, device: Device) -> "MstState":
+        n = graph.num_vertices
+        return cls(
+            graph=graph,
+            config=config,
+            device=device,
+            parent=np.arange(n, dtype=np.int64),
+            min_edge=np.full(n, KEY_INFINITY, dtype=np.uint64),
+            in_mst=np.zeros(graph.num_edges, dtype=bool),
+        )
+
+    # ------------------------------------------------------------------
+    def find_entries(self, xs: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Resolve representatives for worklist endpoints.
+
+        Returns ``(roots, loads, writes)``.  Under implicit path
+        compression the entries already sit at (or one hop from) their
+        roots, so a plain read-only find is cheapest; the de-optimized
+        variant uses explicit GPU path halving, which costs extra loads
+        and compression writes.
+        """
+        if self.config.implicit_path_compression:
+            roots, loads = find_many(self.parent, xs)
+            return roots, loads, 0
+        roots, loads, writes = compress_halving_many(self.parent, xs)
+        return roots, loads, writes
+
+
+# ----------------------------------------------------------------------
+# Cost helpers
+# ----------------------------------------------------------------------
+def _outer_loop_cycles(state: MstState, per_vertex_work: np.ndarray, per_item: float) -> float:
+    """Cycles of a vertex-parallel loop under the configured scheme."""
+    cfg = state.config
+    if cfg.hybrid_parallelization:
+        return hybrid_cycles(
+            per_vertex_work, per_item, threshold=cfg.hybrid_threshold
+        )
+    return thread_mode_cycles(per_vertex_work, per_item)
+
+
+def _entry_prices(cfg: EclMstConfig) -> tuple[float, float]:
+    """(bytes, cycles) per worklist-entry access.
+
+    Topology-driven variants have no worklists: they re-read the static
+    per-edge arrays, which stream sequentially and coalesce perfectly,
+    so they always pay the AoS price regardless of the tuple toggle.
+    """
+    if not cfg.data_driven:
+        eb, ec = costs.AOS_ENTRY_BYTES, costs.AOS_ENTRY_CYCLES
+    else:
+        eb, ec = costs.entry_bytes(cfg), costs.entry_access_cycles(cfg)
+    if not cfg.edge_centric:
+        # One thread walking all of a vertex's entries is a strided,
+        # uncoalesced stream.
+        eb *= costs.VERTEX_CENTRIC_READ_FACTOR
+    return eb, ec
+
+
+def _entry_loop_cycles(state: MstState, v_entries: np.ndarray, per_item: float) -> float:
+    """Cycles of a worklist-parallel loop.
+
+    Edge-centric: one entry per thread, uniform.  Vertex-centric (the
+    final ablation stage): each thread owns a vertex and serially walks
+    that vertex's entries, so imbalance is the per-vertex entry count.
+    """
+    cfg = state.config
+    if cfg.edge_centric:
+        return edge_centric_cycles(int(v_entries.size), per_item)
+    if v_entries.size == 0:
+        return 0.0
+    counts = np.bincount(v_entries, minlength=state.graph.num_vertices)
+    if cfg.hybrid_parallelization:
+        return hybrid_cycles(counts, per_item)
+    return thread_mode_cycles(counts, per_item)
+
+
+# ----------------------------------------------------------------------
+# Kernel: initialization + worklist population
+# ----------------------------------------------------------------------
+def kernel_init_populate(
+    state: MstState, threshold: int | None, phase: int
+) -> int:
+    """Alg. 1 + Lines 1-11 of Alg. 2: fill WL1 from the CSR graph.
+
+    ``phase`` selects the threshold condition: 1 keeps weights strictly
+    under the bound, 2 inverts it and rewrites endpoints to their
+    current representatives (``set(v)``/``set(n)``), which *is* the
+    filtering step — same-set edges are dropped here instead of living
+    through another round.  ``phase == 0`` means no filtering.
+
+    Returns the number of entries appended.
+    """
+    g, cfg, dev = state.graph, state.config, state.device
+    src = g.edge_sources().astype(np.int64)
+    dst = g.col_idx.astype(np.int64)
+    w = g.weights.astype(np.int64)
+    eid = g.edge_ids.astype(np.int64)
+
+    if cfg.single_direction:
+        mask = src < dst
+    else:
+        mask = np.ones(src.size, dtype=bool)
+    if threshold is not None:
+        if phase == 1:
+            mask &= w < threshold
+        else:
+            mask &= w >= threshold
+
+    v_sel, n_sel, w_sel, e_sel = src[mask], dst[mask], w[mask], eid[mask]
+    find_loads = 0
+    if phase == 2:
+        # Filtering: replace endpoints by representatives and drop the
+        # edges that have become internal to a component (cycles).
+        p, lp, _ = state.find_entries(v_sel)
+        q, lq, _ = state.find_entries(n_sel)
+        find_loads = lp + lq
+        cross = p != q
+        if cfg.implicit_path_compression:
+            v_sel, n_sel = p[cross], q[cross]
+        else:
+            v_sel, n_sel = v_sel[cross], n_sel[cross]
+        w_sel, e_sel = w_sel[cross], e_sel[cross]
+
+    entries = EdgeList(v_sel, n_sel, w_sel, e_sel)
+    state.wl.fill_front(entries)
+    appended = len(entries)
+
+    # --- accounting: this kernel walks the CSR structure ------------
+    degrees = g.degrees()
+    cycles = _outer_loop_cycles(state, degrees, costs.INIT_NEIGHBOR_CYCLES)
+    cycles += g.num_vertices * costs.INIT_VERTEX_CYCLES
+    cycles += appended * costs.entry_access_cycles(cfg)
+    cycles += find_loads * costs.FIND_JUMP_CYCLES
+    slot_bytes = (
+        costs.INIT_SLOT_BYTES_HYBRID
+        if cfg.hybrid_parallelization
+        else costs.INIT_SLOT_BYTES_THREAD
+    )
+    bytes_ = (
+        8.0 * g.num_vertices  # row_ptr reads
+        + slot_bytes * g.num_directed_edges  # adjacency scan
+        + costs.entry_bytes(cfg) * appended  # worklist writes
+        + costs.FIND_JUMP_BYTES * find_loads  # parent loads in phase 2
+    )
+    # Longest single-thread chain: hybrid splits a heavy vertex's
+    # adjacency across a warp (its lanes stride the list), while
+    # vertices below the threshold — and every vertex in thread mode —
+    # serialize on one thread.
+    dmax = int(degrees.max()) if degrees.size else 0
+    if cfg.hybrid_parallelization:
+        critical = max(
+            -(-dmax // 32), min(dmax, max(0, cfg.hybrid_threshold - 1))
+        )
+    else:
+        critical = dmax
+    dev.launch(
+        "init",
+        items=g.num_directed_edges,
+        cycles=cycles,
+        bytes_=bytes_,
+        atomics=appended,  # atomicAdd slot reservations
+        critical_items=critical,
+        find_jumps=find_loads,
+    )
+    return appended
+
+
+# ----------------------------------------------------------------------
+# Kernel 1: find + discard cycles + reserve minima (Lines 14-23)
+# ----------------------------------------------------------------------
+def kernel1_reserve(state: MstState) -> int:
+    """Process WL1: discard same-set edges, re-append survivors to WL2
+    (with implicit path compression), and reserve each set's minimum
+    edge via guarded ``atomicMin``.
+
+    Returns the number of surviving entries.
+    """
+    cfg, dev = state.config, state.device
+    wl = state.wl.front
+
+    p, loads_v, writes_v = state.find_entries(wl.v)
+    q, loads_n, writes_n = state.find_entries(wl.n)
+    loads = loads_v + loads_n
+
+    cross = p != q
+    survivors = int(np.count_nonzero(cross))
+    pc, qc = p[cross], q[cross]
+    wc, ec = wl.w[cross], wl.eid[cross]
+
+    if cfg.implicit_path_compression:
+        # Line 18: store representatives in lieu of the endpoints.
+        new_entries = EdgeList(pc, qc, wc, ec)
+    else:
+        new_entries = EdgeList(wl.v[cross], wl.n[cross], wc, ec)
+    if cfg.data_driven:
+        state.wl.append_back(new_entries)
+
+    val = pack_keys(wc, ec)
+    ex_p, sk_p = atomic_min_u64(state.min_edge, pc, val, guarded=cfg.atomic_guards)
+    ex_q, sk_q = atomic_min_u64(state.min_edge, qc, val, guarded=cfg.atomic_guards)
+    executed, skipped = ex_p + ex_q, sk_p + sk_q
+
+    # Same-address serialization: the hottest minEdge slot.  With
+    # guards only the running-minima execute (harmonic expectation);
+    # without, every lane targeting the slot issues its atomic.
+    if survivors:
+        hot = int(
+            max(
+                np.bincount(pc, minlength=state.graph.num_vertices).max(),
+                np.bincount(qc, minlength=state.graph.num_vertices).max(),
+            )
+        )
+        contention = (
+            int(np.ceil(np.log(hot) + 0.5772)) if cfg.atomic_guards else hot
+        )
+    else:
+        contention = 0
+
+    state._round_p, state._round_q = p, q
+
+    # --- accounting --------------------------------------------------
+    n_items = len(wl)
+    eb, ecyc = _entry_prices(cfg)
+    web = costs.entry_bytes(cfg)  # appends always go to a real worklist
+    cycles = _entry_loop_cycles(state, wl.v, costs.K1_ENTRY_CYCLES + ecyc)
+    cycles += loads * costs.FIND_JUMP_CYCLES
+    cycles += 2 * survivors * costs.GUARD_CHECK_CYCLES  # guard loads
+    appends = survivors if cfg.data_driven else 0
+    cycles += appends * costs.entry_access_cycles(cfg)
+    bytes_ = (
+        eb * n_items  # worklist reads
+        + costs.FIND_JUMP_BYTES * loads  # parent chasing
+        + costs.FIND_JUMP_BYTES * (writes_v + writes_n)  # halving writes
+        + 2 * costs.SCATTER_ACCESS_BYTES * survivors  # minEdge guard loads
+        + costs.SCATTER_ACCESS_BYTES * executed  # atomicMin stores
+        + web * appends  # worklist writes
+    )
+    critical = 0
+    if not cfg.edge_centric and n_items:
+        counts = np.bincount(wl.v, minlength=state.graph.num_vertices)
+        critical = int(counts.max())
+    dev.launch(
+        "k1_reserve",
+        items=n_items,
+        cycles=cycles,
+        bytes_=bytes_,
+        atomics=executed + appends,
+        atomics_skipped=skipped,
+        atomic_max_contention=contention,
+        critical_items=critical,
+        find_jumps=loads,
+    )
+    return survivors
+
+
+# ----------------------------------------------------------------------
+# Kernel 2: winner check + union + MST marking (Lines 27-33)
+# ----------------------------------------------------------------------
+def _find_root(parent: np.ndarray, x: int) -> tuple[int, int]:
+    loads = 1
+    while parent[x] != x:
+        x = int(parent[x])
+        loads += 1
+    return x, loads
+
+
+def kernel2_union(state: MstState) -> int:
+    """Check each WL1 entry against the recorded minima; include
+    winners in the MST and join their sets (ECL CAS-style link-by-ID).
+
+    Returns the number of edges added to the MST.
+    """
+    cfg, dev = state.config, state.device
+    wl = state.wl.front
+    n_items = len(wl)
+    if n_items == 0:
+        return 0
+
+    if not cfg.data_driven and state._round_p is not None:
+        # Topology-driven: the front still holds original endpoints but
+        # k1 just resolved their representatives over the same entries.
+        p, q = state._round_p, state._round_q
+        loads = 0
+        writes = 0
+    elif cfg.implicit_path_compression:
+        # Data-driven: the swapped-in worklist entries *are* the reps.
+        p, q = wl.v, wl.n
+        loads = 0
+        writes = 0
+    else:
+        p, lv, wv = state.find_entries(wl.v)
+        q, ln_, wn = state.find_entries(wl.n)
+        loads, writes = lv + ln_, wv + wn
+    state._round_p, state._round_q = p, q
+
+    val = pack_keys(wl.w, wl.eid)
+    win = (val == state.min_edge[p]) | (val == state.min_edge[q])
+    win_idx = np.flatnonzero(win)
+
+    # Winner edges are guaranteed acyclic (each is the unique minimum
+    # of at least one of its sets), so the unions commute; we apply
+    # them in worklist order, simulating the CAS retry loop.
+    parent = state.parent
+    cas_attempts = 0
+    union_loads = 0
+    added = 0
+    mirror_dups = 0
+    for i in win_idx:
+        a, la = _find_root(parent, int(p[i]))
+        b, lb = _find_root(parent, int(q[i]))
+        union_loads += la + lb
+        cas_attempts += 1
+        if a == b:
+            # Only possible for a mirrored duplicate of an edge already
+            # committed this round (the "Both Edge Directions" variant).
+            mirror_dups += 1
+            continue
+        lo, hi = (a, b) if a < b else (b, a)
+        parent[hi] = lo
+        eid = int(wl.eid[i])
+        if not state.in_mst[eid]:
+            state.in_mst[eid] = True
+            added += 1
+
+    # --- accounting --------------------------------------------------
+    eb, ecyc = _entry_prices(cfg)
+    cycles = _entry_loop_cycles(state, wl.v, costs.K2_ENTRY_CYCLES + ecyc)
+    cycles += (loads + union_loads) * costs.FIND_JUMP_CYCLES
+    bytes_ = (
+        eb * n_items
+        + 2 * costs.SCATTER_ACCESS_BYTES * n_items  # two minEdge loads
+        + costs.FIND_JUMP_BYTES * (loads + union_loads)
+        + costs.FIND_JUMP_BYTES * writes
+        + costs.SCATTER_ACCESS_BYTES * cas_attempts  # parent CAS
+        + 1.0 * added  # MST flag store
+    )
+    dev.launch(
+        "k2_union",
+        items=n_items,
+        cycles=cycles,
+        bytes_=bytes_,
+        atomics=cas_attempts,
+        find_jumps=loads + union_loads,
+    )
+    return added
+
+
+# ----------------------------------------------------------------------
+# Kernel 3: reset minEdge (Lines 34-37)
+# ----------------------------------------------------------------------
+def kernel3_reset(state: MstState) -> None:
+    """Clear the reservations of every set touched this round."""
+    cfg, dev = state.config, state.device
+    wl = state.wl.front
+    n_items = len(wl)
+    if n_items == 0:
+        return
+    p = state._round_p if state._round_p is not None else wl.v
+    q = state._round_q if state._round_q is not None else wl.n
+    state.min_edge[p] = KEY_INFINITY
+    state.min_edge[q] = KEY_INFINITY
+
+    eb, ecyc = _entry_prices(cfg)
+    cycles = _entry_loop_cycles(state, wl.v, costs.K3_ENTRY_CYCLES + ecyc)
+    bytes_ = (
+        eb * n_items + 2 * costs.SCATTER_ACCESS_BYTES * n_items
+    )  # entry read + two scattered stores
+    dev.launch("k3_reset", items=n_items, cycles=cycles, bytes_=bytes_)

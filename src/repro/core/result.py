@@ -1,0 +1,58 @@
+"""Result object returned by every MST runner (ECL-MST and baselines)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..gpusim.counters import RunCounters
+
+__all__ = ["MstResult"]
+
+
+@dataclass
+class MstResult:
+    """Outcome of one MST/MSF computation.
+
+    ``in_mst[eid]`` flags the undirected edges selected; modeled times
+    follow the paper's measurement protocol (computation only;
+    ``memcpy_seconds`` adds the host↔device transfers for the
+    "ECL-MST memcpy" rows).
+    """
+
+    graph: CSRGraph
+    in_mst: np.ndarray
+    total_weight: int
+    num_mst_edges: int
+    rounds: int
+    modeled_seconds: float
+    counters: RunCounters = field(default_factory=RunCounters)
+    memcpy_seconds: float = 0.0
+    algorithm: str = "ecl-mst"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def modeled_seconds_with_memcpy(self) -> float:
+        return self.modeled_seconds + self.memcpy_seconds
+
+    def throughput_meps(self, *, include_memcpy: bool = False) -> float:
+        """Millions of (directed) edges per second, as in Figures 3/4."""
+        t = self.modeled_seconds_with_memcpy if include_memcpy else self.modeled_seconds
+        if t <= 0:
+            return float("inf")
+        return self.graph.num_directed_edges / t / 1e6
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(u, v, w)`` arrays of the selected MST edges."""
+        u, v, w, eid = self.graph.undirected_edges()
+        sel = self.in_mst[eid]
+        return u[sel], v[sel], w[sel]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MstResult({self.algorithm} on {self.graph.name}: "
+            f"{self.num_mst_edges} edges, weight {self.total_weight}, "
+            f"{self.modeled_seconds * 1e3:.3f} ms modeled)"
+        )

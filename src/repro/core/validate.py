@@ -1,0 +1,109 @@
+"""Independent MSF validation — no reference recomputation needed.
+
+:mod:`repro.core.verify` checks a result against serial Kruskal; this
+module validates a claimed MSF *from first principles*, the way an
+artifact-evaluation checker would:
+
+1. **forest** — the selected edges contain no cycle;
+2. **spanning** — |MSF| = |V| − #components, i.e. every component is
+   fully connected by the selection;
+3. **cut property** — for every non-selected edge (u, v), the path
+   between u and v inside the forest contains no edge with a larger
+   ``weight:id`` key (equivalently: each non-tree edge is the maximum
+   on its induced cycle).  This is the full certificate of minimality
+   for unique keys.
+
+The cut check runs in O(|E| · α) using offline LCA-free verification by
+Kruskal replay: process all edges in key order; a non-tree edge whose
+endpoints are already connected *using only lighter tree edges* is
+certified.  If any non-tree edge connects two yet-unconnected
+components, a lighter spanning choice existed and the MSF is invalid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..gpusim.atomics import pack_keys
+from .result import MstResult
+
+__all__ = ["validate_msf", "MsfValidationError"]
+
+
+class MsfValidationError(AssertionError):
+    """Raised when a claimed MSF fails a first-principles check."""
+
+
+def _components(graph: CSRGraph) -> int:
+    from ..graph.properties import connected_components
+
+    count, _ = connected_components(graph)
+    return count
+
+
+def validate_msf(result: MstResult) -> None:
+    """Validate ``result`` from first principles; raise on violation."""
+    graph = result.graph
+    u, v, w, eid = graph.undirected_edges()
+    sel = result.in_mst[eid]
+    n = graph.num_vertices
+
+    # --- forest + spanning via union-find over selected edges -------
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    for i in np.flatnonzero(sel):
+        a, b = find(int(u[i])), find(int(v[i]))
+        if a == b:
+            raise MsfValidationError(
+                f"cycle: selected edge ({u[i]}, {v[i]}) closes a loop"
+            )
+        parent[max(a, b)] = min(a, b)
+
+    n_cc = _components(graph)
+    count = int(np.count_nonzero(sel))
+    if count != n - n_cc:
+        raise MsfValidationError(
+            f"not spanning: {count} edges selected, expected {n - n_cc} "
+            f"(|V|={n}, components={n_cc})"
+        )
+
+    # --- minimality: Kruskal replay in key order ---------------------
+    keys = pack_keys(w, eid)
+    order = np.argsort(keys, kind="stable")
+    parent = np.arange(n, dtype=np.int64)
+    for i in order:
+        a, b = find(int(u[i])), find(int(v[i]))
+        if sel[i]:
+            if a == b:
+                raise MsfValidationError(
+                    f"non-minimal: selected edge ({u[i]}, {v[i]}, w={w[i]}) "
+                    "is dominated by lighter edges"
+                )
+            parent[max(a, b)] = min(a, b)
+        else:
+            if a != b:
+                raise MsfValidationError(
+                    f"non-minimal: skipped edge ({u[i]}, {v[i]}, w={w[i]}) "
+                    "crosses a cut with no lighter selected edge"
+                )
+
+    # --- reported totals ---------------------------------------------
+    true_weight = int(w[sel].sum()) if count else 0
+    if result.total_weight != true_weight:
+        raise MsfValidationError(
+            f"weight mismatch: reported {result.total_weight}, "
+            f"edges sum to {true_weight}"
+        )
+    if result.num_mst_edges != count:
+        raise MsfValidationError(
+            f"count mismatch: reported {result.num_mst_edges}, mask has {count}"
+        )

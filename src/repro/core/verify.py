@@ -1,0 +1,78 @@
+"""Serial-Kruskal verification (Section 4).
+
+The paper: *"The ECL-MST implementation verifies the solution at the
+end of each run by comparing it to the solution of a serial
+implementation of Kruskal's algorithm."*  Because the ``weight:edge-ID``
+keys are unique, the MSF is *unique*, so verification can require the
+exact same edge set, not merely the same total weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..gpusim.atomics import pack_keys
+from .result import MstResult
+
+__all__ = ["reference_mst_mask", "verify_mst", "VerificationError"]
+
+
+class VerificationError(AssertionError):
+    """Raised when a result disagrees with the serial reference."""
+
+
+def reference_mst_mask(graph: CSRGraph) -> np.ndarray:
+    """Boolean per-edge-ID mask of the unique MSF, by serial Kruskal.
+
+    Edges are processed in increasing packed-key order (weight, then
+    edge ID — the same deterministic tie-break ECL-MST's atomicMin
+    uses) with a path-compressed union-find.
+    """
+    u, v, w, eid = graph.undirected_edges()
+    order = np.argsort(pack_keys(w, eid), kind="stable")
+    parent = np.arange(graph.num_vertices, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    mask = np.zeros(graph.num_edges, dtype=bool)
+    for i in order:
+        ra, rb = find(int(u[i])), find(int(v[i]))
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+            mask[eid[i]] = True
+    return mask
+
+
+def verify_mst(result: MstResult) -> None:
+    """Check ``result`` against the serial reference; raise on mismatch."""
+    graph = result.graph
+    ref = reference_mst_mask(graph)
+    if result.in_mst.shape != ref.shape:
+        raise VerificationError(
+            f"edge mask has shape {result.in_mst.shape}, expected {ref.shape}"
+        )
+    if not np.array_equal(result.in_mst, ref):
+        extra = int(np.count_nonzero(result.in_mst & ~ref))
+        missing = int(np.count_nonzero(ref & ~result.in_mst))
+        raise VerificationError(
+            f"{result.algorithm} on {graph.name}: edge set differs from the "
+            f"serial Kruskal reference ({extra} extra, {missing} missing)"
+        )
+    u, v, w, eid = graph.undirected_edges()
+    ref_weight = int(w[ref[eid]].sum())
+    if result.total_weight != ref_weight:
+        raise VerificationError(
+            f"total weight {result.total_weight} != reference {ref_weight}"
+        )
+    ref_count = int(np.count_nonzero(ref))
+    if result.num_mst_edges != ref_count:
+        raise VerificationError(
+            f"edge count {result.num_mst_edges} != reference {ref_count}"
+        )

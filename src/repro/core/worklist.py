@@ -1,0 +1,79 @@
+"""Double-buffered edge worklists.
+
+ECL-MST keeps two worklists and swaps them each round: one is drained
+while the other fills (Section 3.2, "small optimizations").  An entry
+is the 4-tuple ``⟨source, destination, weight, edge ID⟩``; the layout
+(one array of packed tuples vs four parallel arrays) is an ablation
+axis, but since NumPy holds the four fields as columns either way, the
+layout only changes the *cost accounting* (see
+:mod:`repro.core.costs`), never the semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EdgeList", "Worklist"]
+
+
+@dataclass
+class EdgeList:
+    """A batch of worklist entries (column arrays of equal length)."""
+
+    v: np.ndarray
+    n: np.ndarray
+    w: np.ndarray
+    eid: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.v.size)
+
+    @classmethod
+    def empty(cls) -> "EdgeList":
+        z = np.empty(0, dtype=np.int64)
+        return cls(z, z.copy(), z.copy(), z.copy())
+
+    def select(self, mask: np.ndarray) -> "EdgeList":
+        return EdgeList(self.v[mask], self.n[mask], self.w[mask], self.eid[mask])
+
+
+class Worklist:
+    """The WL1/WL2 pair with the swap protocol of Alg. 2.
+
+    ``appends`` counts the atomicAdd slot reservations performed while
+    filling the back buffer; the driver reads it for cost accounting.
+    """
+
+    def __init__(self) -> None:
+        self.front = EdgeList.empty()
+        self._back_parts: list[EdgeList] = []
+        self.appends = 0
+
+    def __len__(self) -> int:
+        return len(self.front)
+
+    def fill_front(self, entries: EdgeList) -> None:
+        """Bulk-populate the active worklist (initialization kernel)."""
+        self.front = entries
+        self.appends += len(entries)
+
+    def append_back(self, entries: EdgeList) -> None:
+        """Reserve slots in the filling buffer (atomicAdd per entry)."""
+        if len(entries):
+            self._back_parts.append(entries)
+            self.appends += len(entries)
+
+    def swap(self) -> None:
+        """``WL1 ← ∅; swap WL1 and WL2`` from Alg. 2."""
+        if self._back_parts:
+            self.front = EdgeList(
+                np.concatenate([p.v for p in self._back_parts]),
+                np.concatenate([p.n for p in self._back_parts]),
+                np.concatenate([p.w for p in self._back_parts]),
+                np.concatenate([p.eid for p in self._back_parts]),
+            )
+        else:
+            self.front = EdgeList.empty()
+        self._back_parts = []

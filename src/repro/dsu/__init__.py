@@ -1,0 +1,6 @@
+"""Disjoint-set (union-find) substrate."""
+
+from .arrays import Compression, DisjointSet
+from .vectorized import compress_halving_many, find_many
+
+__all__ = ["Compression", "DisjointSet", "compress_halving_many", "find_many"]

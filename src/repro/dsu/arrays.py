@@ -1,0 +1,144 @@
+"""Array-based disjoint-set (union-find) with pluggable path compression.
+
+ECL-MST, Lonestar and PBBS all center on this structure (Section 2).
+The paper studies several *find* compression schemes (Section 3.2,
+bullet 3) — including "intermediate pointer jumping" from the ECL-CC
+connected-components work — before settling on **no explicit
+compression at all**, relying instead on the implicit compression that
+happens when worklist entries are rewritten to representatives.
+
+The union is the ECL-style lock-free link: roots are compared and the
+*higher-ID root is attached beneath the lower-ID root* via what would
+be an ``atomicCAS`` retry loop on a GPU.  Link-by-ID (rather than by
+rank) is what makes the CAS loop simple and ABA-free.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Compression", "DisjointSet"]
+
+
+class Compression(str, Enum):
+    """Path-compression schemes selectable for the find operation."""
+
+    NONE = "none"
+    HALVING = "halving"
+    SPLITTING = "splitting"
+    FULL = "full"
+    # "Intermediate pointer jumping" (Jaiganesh & Burtscher, HPDC'18):
+    # every traversal step rewrites the visited node to its grandparent,
+    # like halving, but the rewrite is also applied when the traversal
+    # starts mid-path — the GPU-friendly variant.
+    INTERMEDIATE = "intermediate"
+
+
+class DisjointSet:
+    """Union-find over vertices ``0..n-1``.
+
+    Tracks ``finds``, ``find_loads`` (parent dereferences) and
+    ``compress_writes`` so the cost model can charge the *actual* work
+    of each scheme.
+    """
+
+    def __init__(self, n: int, compression: Compression | str = Compression.NONE):
+        self.parent = np.arange(n, dtype=np.int64)
+        self.compression = Compression(compression)
+        self.finds = 0
+        self.find_loads = 0
+        self.compress_writes = 0
+        self.unions = 0
+        self.union_cas = 0
+
+    @property
+    def n(self) -> int:
+        return int(self.parent.size)
+
+    # ------------------------------------------------------------------
+    # find
+    # ------------------------------------------------------------------
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set, applying the configured scheme."""
+        parent = self.parent
+        self.finds += 1
+        scheme = self.compression
+        if scheme is Compression.FULL:
+            root = x
+            loads = 1
+            while parent[root] != root:
+                root = int(parent[root])
+                loads += 1
+            # Second pass: point the whole path at the root.
+            while parent[x] != root:
+                nxt = int(parent[x])
+                parent[x] = root
+                self.compress_writes += 1
+                x = nxt
+            self.find_loads += loads
+            return root
+
+        cur = x
+        loads = 1
+        while parent[cur] != cur:
+            nxt = int(parent[cur])
+            if scheme in (
+                Compression.HALVING,
+                Compression.SPLITTING,
+                Compression.INTERMEDIATE,
+            ):
+                grand = int(parent[nxt])
+                loads += 1
+                if grand != nxt:
+                    parent[cur] = grand
+                    self.compress_writes += 1
+                if scheme is Compression.HALVING:
+                    cur = grand
+                else:  # splitting / intermediate advance one step
+                    cur = nxt
+            else:
+                cur = nxt
+            loads += 1
+        self.find_loads += loads
+        return int(cur)
+
+    # ------------------------------------------------------------------
+    # union
+    # ------------------------------------------------------------------
+    def union(self, a: int, b: int) -> bool:
+        """Join the sets of ``a`` and ``b``; return False if already one.
+
+        Simulates the ECL CAS loop: re-find roots until the link lands
+        (sequential execution means at most one iteration here, but the
+        retry structure and the ``union_cas`` count are preserved).
+        """
+        while True:
+            ra, rb = self.find(a), self.find(b)
+            if ra == rb:
+                return False
+            lo, hi = (ra, rb) if ra < rb else (rb, ra)
+            self.union_cas += 1
+            # atomicCAS(&parent[hi], hi, lo) — cannot fail sequentially.
+            if self.parent[hi] == hi:
+                self.parent[hi] = lo
+                self.unions += 1
+                return True
+
+    def same_set(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def num_sets(self) -> int:
+        """Number of disjoint sets (roots)."""
+        roots = self.parent == np.arange(self.parent.size)
+        return int(np.count_nonzero(roots))
+
+    def representatives(self) -> np.ndarray:
+        """Root of every vertex (fully resolved, no mutation)."""
+        labels = self.parent.copy()
+        while True:
+            nxt = labels[labels]
+            if np.array_equal(nxt, labels):
+                return labels
+            labels = nxt

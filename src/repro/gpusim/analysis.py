@@ -1,0 +1,89 @@
+"""Roofline-style kernel classification from recorded counters.
+
+Given a :class:`~repro.gpusim.counters.RunCounters` and the spec it ran
+on, classify each launch by its binding resource — the diagnostic the
+paper's optimization story is about (e.g. "No Tuples" turns k1 from
+memory-bound to *more* memory-bound; "Vertex-Centric" makes compute
+imbalance bind; unguarded atomics push kernels into the atomic regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .counters import KernelCounters, RunCounters
+from .spec import GPUSpec
+
+__all__ = ["KernelClassification", "classify_kernel", "classify_run", "bound_summary"]
+
+BOUNDS = ("launch", "compute", "memory", "critical-path", "atomic")
+
+
+@dataclass(frozen=True)
+class KernelClassification:
+    """Binding-resource breakdown of one launch."""
+
+    name: str
+    bound: str  # one of BOUNDS
+    launch_s: float
+    compute_s: float
+    memory_s: float
+    critical_s: float
+    atomic_s: float
+    total_s: float
+
+
+def classify_kernel(spec: GPUSpec, k: KernelCounters) -> KernelClassification:
+    """Decompose a launch's modeled time into its cost-model terms and
+    name the largest."""
+    launch = spec.kernel_launch_us * 1e-6
+    compute = k.cycles / (spec.compute_gcycles_per_s * 1e9)
+    memory = k.bytes / (spec.effective_bandwidth_gbs * 1e9)
+    critical = k.critical_items * spec.dependent_access_ns * 1e-9
+    atomic = max(
+        k.atomics / (spec.atomic_gops * 1e9),
+        k.atomic_max_contention * spec.atomic_same_address_ns * 1e-9,
+    )
+    terms = {
+        "launch": launch,
+        "compute": compute,
+        "memory": memory,
+        "critical-path": critical,
+        "atomic": atomic,
+    }
+    bound = max(terms, key=terms.get)
+    return KernelClassification(
+        name=k.name,
+        bound=bound,
+        launch_s=launch,
+        compute_s=compute,
+        memory_s=memory,
+        critical_s=critical,
+        atomic_s=atomic,
+        total_s=k.modeled_seconds,
+    )
+
+
+def classify_run(spec: GPUSpec, counters: RunCounters) -> list[KernelClassification]:
+    """Classify every launch of a run (host syncs excluded)."""
+    return [
+        classify_kernel(spec, k)
+        for k in counters.kernels
+        if k.name != "host_sync"
+    ]
+
+
+def bound_summary(spec: GPUSpec, counters: RunCounters) -> dict[str, float]:
+    """Fraction of total kernel time spent under each binding resource.
+
+    Returns ``{bound: share}`` with shares summing to 1 (or an empty
+    dict for a run without launches).
+    """
+    classes = classify_run(spec, counters)
+    total = sum(c.total_s for c in classes)
+    if total <= 0:
+        return {}
+    shares: dict[str, float] = {}
+    for c in classes:
+        shares[c.bound] = shares.get(c.bound, 0.0) + c.total_s / total
+    return shares

@@ -1,0 +1,163 @@
+"""Counters → modeled seconds.
+
+A kernel launch is charged
+
+``t = launch_overhead + max(compute, memory) + atomic``
+
+with
+
+* ``compute = cycles / (cores * clock * ipc)`` — thread-cycles counted
+  by the kernel (including idle SIMT lanes from divergence/imbalance),
+* ``memory = bytes / bandwidth`` — the DRAM traffic counted by the
+  kernel, and
+* ``atomic = atomics / atomic_throughput`` — global atomics serialize
+  at the memory controllers, so they are charged separately.
+
+``max(compute, memory)`` models the overlap of computation and memory
+on a throughput device; atomics overlap poorly with either on the
+contended structures MST uses (minEdge array, worklist tail pointer).
+
+CPU codes use an analogous model with per-round synchronization
+overheads instead of kernel launches.
+"""
+
+from __future__ import annotations
+
+from .counters import KernelCounters, RunCounters
+from .spec import CPUSpec, GPUSpec
+
+__all__ = ["gpu_kernel_seconds", "cpu_phase_seconds", "Device", "CpuMachine"]
+
+
+def gpu_kernel_seconds(spec: GPUSpec, k: KernelCounters) -> float:
+    """Modeled wall time of one kernel launch on ``spec``.
+
+    The atomic term is the max of the throughput charge and the
+    same-address serialization critical path (atomics on one hot
+    address execute one at a time at the L2).
+    """
+    compute = k.cycles / (spec.compute_gcycles_per_s * 1e9)
+    memory = k.bytes / (spec.effective_bandwidth_gbs * 1e9)
+    critical = k.critical_items * spec.dependent_access_ns * 1e-9
+    atomic = max(
+        k.atomics / (spec.atomic_gops * 1e9),
+        k.atomic_max_contention * spec.atomic_same_address_ns * 1e-9,
+    )
+    return (
+        spec.kernel_launch_us * 1e-6 + max(compute, memory, critical) + atomic
+    )
+
+
+def cpu_phase_seconds(
+    spec: CPUSpec,
+    *,
+    ops: float,
+    bytes_: float = 0.0,
+    threads: int = 0,
+    syncs: int = 0,
+) -> float:
+    """Modeled wall time of one CPU parallel phase.
+
+    ``ops`` is an abstract operation count (comparisons, unions, array
+    writes) charged at one cycle each; ``syncs`` counts barriers/task
+    joins charged at ``spec.sync_us`` each.
+    """
+    compute = ops / (spec.compute_gcycles_per_s(threads) * 1e9)
+    memory = bytes_ / (spec.mem_bandwidth_gbs * 1e9)
+    return max(compute, memory) + syncs * spec.sync_us * 1e-6
+
+
+class Device:
+    """A simulated GPU accumulating kernel launches.
+
+    Algorithms perform their real (NumPy) work, then report the counted
+    quantities through :meth:`launch`; the device prices the launch and
+    accumulates modeled elapsed time.
+    """
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self.counters = RunCounters()
+
+    def launch(
+        self,
+        name: str,
+        *,
+        items: int = 0,
+        cycles: float = 0.0,
+        bytes_: float = 0.0,
+        atomics: int = 0,
+        atomics_skipped: int = 0,
+        atomic_max_contention: int = 0,
+        critical_items: int = 0,
+        find_jumps: int = 0,
+    ) -> KernelCounters:
+        k = KernelCounters(
+            name=name,
+            items=int(items),
+            cycles=float(cycles),
+            bytes=float(bytes_),
+            atomics=int(atomics),
+            atomics_skipped=int(atomics_skipped),
+            atomic_max_contention=int(atomic_max_contention),
+            critical_items=int(critical_items),
+            find_jumps=int(find_jumps),
+        )
+        k.modeled_seconds = gpu_kernel_seconds(self.spec, k)
+        self.counters.add(k)
+        return k
+
+    def host_sync(self) -> KernelCounters:
+        """Charge one device->host convergence-flag round trip (the
+        memcpy-in-a-while-loop pattern of Section 2)."""
+        k = KernelCounters(name="host_sync")
+        k.modeled_seconds = self.spec.host_sync_us * 1e-6
+        self.counters.add(k)
+        return k
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.counters.total_seconds
+
+    def memcpy_seconds(self, bytes_: float) -> float:
+        """Host<->device transfer time over PCIe (for memcpy rows)."""
+        from .spec import PCIE_BANDWIDTH_GBS
+
+        return bytes_ / (PCIE_BANDWIDTH_GBS * 1e9) + 20e-6
+
+
+class CpuMachine:
+    """A simulated CPU accumulating parallel/serial phases.
+
+    Reuses :class:`RunCounters` with ``cycles`` holding the op count so
+    the reporting layer can treat GPU and CPU runs uniformly.
+    """
+
+    def __init__(self, spec: CPUSpec, threads: int = 0) -> None:
+        self.spec = spec
+        self.threads = threads if threads > 0 else spec.cores
+        self.counters = RunCounters()
+
+    def phase(
+        self,
+        name: str,
+        *,
+        ops: float,
+        bytes_: float = 0.0,
+        items: int = 0,
+        syncs: int = 0,
+        serial: bool = False,
+    ) -> KernelCounters:
+        threads = 1 if serial else self.threads
+        k = KernelCounters(
+            name=name, items=int(items), cycles=float(ops), bytes=float(bytes_)
+        )
+        k.modeled_seconds = cpu_phase_seconds(
+            self.spec, ops=ops, bytes_=bytes_, threads=threads, syncs=syncs
+        )
+        self.counters.add(k)
+        return k
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.counters.total_seconds

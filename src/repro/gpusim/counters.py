@@ -1,0 +1,123 @@
+"""Hardware-style counters recorded by every simulated kernel launch.
+
+The counters are *measured from the algorithm's actual execution* —
+real numbers of worklist entries, real pointer-jump counts from the
+disjoint-set finds, real atomic executions after guard checks, real
+per-warp load imbalance computed from the degree arrays.  The cost
+model then turns them into modeled seconds.  This split keeps the
+simulation honest: the only modeled quantities are hardware rates, not
+the amount of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelCounters", "RunCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Work performed by one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel identity (``init``, ``k1_reserve``, ``k2_union``,
+        ``k3_reset``, or a baseline's kernel name).
+    items:
+        Work items (edges or vertices) processed.
+    cycles:
+        Thread-cycles consumed, *including* idle SIMT lanes — for
+        vertex-centric kernels this is the sum over warps of
+        ``warp_size * max(per-thread work)``, so load imbalance shows
+        up as real counted cycles.
+    bytes:
+        Effective DRAM traffic in bytes (worklist reads/writes, CSR
+        accesses, minEdge updates), including transaction-granularity
+        penalties for scattered layouts.
+    atomics:
+        Atomic operations actually executed.
+    atomics_skipped:
+        Atomics elided by the guard optimization (a cheap load+compare
+        is still charged through ``cycles``/``bytes``).
+    find_jumps:
+        Parent pointer dereferences performed by disjoint-set finds.
+    """
+
+    name: str
+    items: int = 0
+    cycles: float = 0.0
+    bytes: float = 0.0
+    atomics: int = 0
+    atomics_skipped: int = 0
+    atomic_max_contention: int = 0
+    critical_items: int = 0
+    find_jumps: int = 0
+    modeled_seconds: float = 0.0
+
+
+@dataclass
+class RunCounters:
+    """All launches of one algorithm run, in order."""
+
+    kernels: list[KernelCounters] = field(default_factory=list)
+
+    def add(self, k: KernelCounters) -> None:
+        self.kernels.append(k)
+
+    # ------------------------------------------------------------------
+    # Aggregations used by the reports
+    # ------------------------------------------------------------------
+    @property
+    def num_launches(self) -> int:
+        return len(self.kernels)
+
+    def launches_of(self, name: str) -> int:
+        return sum(1 for k in self.kernels if k.name == name)
+
+    def total(self, attr: str) -> float:
+        return sum(getattr(k, attr) for k in self.kernels)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total("modeled_seconds")
+
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Per-kernel-name modeled time, for the §5.1 profile claim."""
+        out: dict[str, float] = {}
+        for k in self.kernels:
+            out[k.name] = out.get(k.name, 0.0) + k.modeled_seconds
+        return out
+
+    def render_timeline(self, *, width: int = 40) -> str:
+        """Text timeline of the launches, one row per kernel launch.
+
+        Columns: index, kernel name, items, modeled microseconds, and a
+        proportional bar — the quickest way to see where a run's time
+        goes (e.g. the init/k1/k2/k3 split of Section 5.1).
+        """
+        if not self.kernels:
+            return "(no launches)"
+        peak = max(k.modeled_seconds for k in self.kernels) or 1.0
+        name_w = max(len(k.name) for k in self.kernels)
+        lines = []
+        for i, k in enumerate(self.kernels):
+            bar = "#" * max(1, int(round(k.modeled_seconds / peak * width)))
+            lines.append(
+                f"{i:4d} {k.name.ljust(name_w)} {k.items:>10d} "
+                f"{k.modeled_seconds * 1e6:9.2f}us {bar}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "launches": self.num_launches,
+            "items": self.total("items"),
+            "cycles": self.total("cycles"),
+            "bytes": self.total("bytes"),
+            "atomics": self.total("atomics"),
+            "atomics_skipped": self.total("atomics_skipped"),
+            "find_jumps": self.total("find_jumps"),
+            "seconds": self.total_seconds,
+        }

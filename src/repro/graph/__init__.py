@@ -1,0 +1,31 @@
+"""Graph substrate: CSR storage, construction, IO, weights, properties."""
+
+from .build import build_csr, empty_graph, from_edge_arrays
+from .csr import CSRGraph
+from .formats import load_dimacs, load_metis, save_dimacs, save_metis
+from .io import load_ecl, load_edge_list, save_ecl, save_edge_list
+from .properties import GraphInfo, average_degree, connected_components, graph_info
+from .weights import MAX_WEIGHT, hash_weight, quantize_weights, randomize_weights
+
+__all__ = [
+    "CSRGraph",
+    "GraphInfo",
+    "MAX_WEIGHT",
+    "average_degree",
+    "build_csr",
+    "connected_components",
+    "empty_graph",
+    "from_edge_arrays",
+    "graph_info",
+    "hash_weight",
+    "load_dimacs",
+    "load_ecl",
+    "load_edge_list",
+    "load_metis",
+    "quantize_weights",
+    "randomize_weights",
+    "save_dimacs",
+    "save_ecl",
+    "save_edge_list",
+    "save_metis",
+]

@@ -1,0 +1,155 @@
+"""Readers/writers for the public graph formats the paper's inputs use.
+
+* **DIMACS shortest-path** (``.gr``) — the 9th DIMACS Implementation
+  Challenge format of the USA road graphs: ``c`` comment lines, one
+  ``p sp <n> <m>`` problem line, and ``a <u> <v> <w>`` arc lines with
+  1-based vertex IDs.  Road inputs ship both directions of every arc;
+  the cleanup pipeline (dedup + symmetrize) handles either convention.
+
+* **METIS / Chaco** (``.graph``) — the format of the Galois and
+  DIMACS-10 inputs (europe_osm, delaunay, kron, coPapersDBLP): a header
+  ``<n> <m> [fmt]`` followed by one adjacency line per vertex (1-based
+  neighbor IDs, optionally interleaved with edge weights when
+  ``fmt`` ∈ {1, 11}).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .build import build_csr
+from .csr import CSRGraph
+
+__all__ = ["load_dimacs", "save_dimacs", "load_metis", "save_metis"]
+
+
+def _read_lines(path) -> list[str]:
+    if isinstance(path, io.TextIOBase):
+        return path.read().splitlines()
+    return Path(path).read_text().splitlines()
+
+
+# ----------------------------------------------------------------------
+# DIMACS .gr
+# ----------------------------------------------------------------------
+def load_dimacs(
+    path: str | os.PathLike | io.TextIOBase, *, name: str = "dimacs"
+) -> CSRGraph:
+    """Read a DIMACS shortest-path ``.gr`` file."""
+    n = None
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[int] = []
+    for line in _read_lines(path):
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) != 4 or parts[1] != "sp":
+                raise ValueError(f"malformed problem line: {line!r}")
+            n = int(parts[2])
+        elif parts[0] == "a":
+            if n is None:
+                raise ValueError("arc line before problem line")
+            us.append(int(parts[1]) - 1)
+            vs.append(int(parts[2]) - 1)
+            ws.append(int(parts[3]))
+        else:
+            raise ValueError(f"unknown DIMACS line type: {line!r}")
+    if n is None:
+        raise ValueError("missing 'p sp' problem line")
+    return build_csr(
+        n,
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        np.asarray(ws, dtype=np.int64),
+        name=name,
+    )
+
+
+def save_dimacs(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a DIMACS ``.gr`` file (both directions, as the road
+    inputs do)."""
+    src = graph.edge_sources()
+    with open(path, "w") as f:
+        f.write(f"c {graph.name}\n")
+        f.write(f"p sp {graph.num_vertices} {graph.num_directed_edges}\n")
+        for i in range(src.size):
+            f.write(f"a {src[i] + 1} {graph.col_idx[i] + 1} {graph.weights[i]}\n")
+
+
+# ----------------------------------------------------------------------
+# METIS .graph
+# ----------------------------------------------------------------------
+def load_metis(
+    path: str | os.PathLike | io.TextIOBase, *, name: str = "metis"
+) -> CSRGraph:
+    """Read a METIS/Chaco ``.graph`` file (fmt 0 or 1)."""
+    raw = [l for l in _read_lines(path) if not l.lstrip().startswith("%")]
+    # The header is the first non-blank line; adjacency lines may be
+    # blank (isolated vertices), so only leading/trailing blanks drop.
+    while raw and not raw[0].strip():
+        raw.pop(0)
+    while raw and not raw[-1].strip():
+        raw.pop()
+    lines = raw
+    if not lines:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_weights = fmt in ("1", "01", "11")
+    if fmt not in ("0", "1", "01", "11", "00"):
+        raise ValueError(f"unsupported METIS fmt {fmt!r}")
+    if len(lines) - 1 > n:
+        raise ValueError(
+            f"expected {n} adjacency lines, found {len(lines) - 1}"
+        )
+    # Trailing isolated vertices may appear as trimmed blank lines.
+    lines = lines + [""] * (n - (len(lines) - 1))
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[int] = []
+    for v, line in enumerate(lines[1:]):
+        tokens = line.split()
+        step = 2 if has_weights else 1
+        for i in range(0, len(tokens), step):
+            u = int(tokens[i]) - 1
+            w = int(tokens[i + 1]) if has_weights else 1
+            us.append(v)
+            vs.append(u)
+            ws.append(w)
+    g = build_csr(
+        n,
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        np.asarray(ws, dtype=np.int64),
+        name=name,
+    )
+    if g.num_edges != m:
+        # METIS headers count undirected edges; tolerate cleaned dupes
+        # but reject wild mismatches.
+        if not (0.5 * m <= g.num_edges <= m):
+            raise ValueError(
+                f"edge count mismatch: header says {m}, parsed {g.num_edges}"
+            )
+    return g
+
+
+def save_metis(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a METIS ``.graph`` file with edge weights (fmt 1)."""
+    with open(path, "w") as f:
+        f.write(f"% {graph.name}\n")
+        f.write(f"{graph.num_vertices} {graph.num_edges} 1\n")
+        for v in range(graph.num_vertices):
+            nbrs = graph.neighbors(v)
+            wts = graph.neighbor_weights(v)
+            f.write(
+                " ".join(f"{nbrs[i] + 1} {wts[i]}" for i in range(nbrs.size))
+                + "\n"
+            )

@@ -1,0 +1,110 @@
+"""Deterministic random edge weights for unweighted inputs.
+
+The paper's methodology says: *"For unweighted graphs, we inserted
+random weights so the MST can be computed."*  The ECL codes do this
+with a hash of the edge endpoints so that the weights are reproducible
+across machines and independent of edge order.  We use the same idea:
+a 32-bit avalanche hash of the canonical ``(lo, hi)`` endpoint pair,
+folded into ``[1, max_weight]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph, WEIGHT_DTYPE
+
+__all__ = ["hash_weight", "quantize_weights", "randomize_weights", "MAX_WEIGHT"]
+
+# Weights must fit the upper 32 bits of the packed ``weight:id`` atomic
+# key with room for the +infinity sentinel, so keep them well below 2^31.
+MAX_WEIGHT = 1 << 20
+
+
+def hash_weight(
+    lo: np.ndarray, hi: np.ndarray, *, seed: int = 0, max_weight: int = MAX_WEIGHT
+) -> np.ndarray:
+    """Hash endpoint pairs into weights in ``[1, max_weight]``.
+
+    Uses a Murmur3-style 32-bit finalizer over ``lo * PRIME ^ hi ^ seed``
+    — a stateless, order-independent mapping, so the same undirected
+    edge always gets the same weight.
+    """
+    x = (
+        np.asarray(lo, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        ^ np.asarray(hi, dtype=np.uint64)
+        ^ np.uint64((seed * 0x2545F4914F6CDD1D + 0xDEADBEEF) & 0xFFFFFFFFFFFFFFFF)
+    )
+    x ^= x >> np.uint64(33)
+    x *= np.uint64(0xFF51AFD7ED558CCD)
+    x ^= x >> np.uint64(33)
+    x *= np.uint64(0xC4CEB9FE1A85EC53)
+    x ^= x >> np.uint64(33)
+    return (x % np.uint64(max_weight)).astype(np.int64) + 1
+
+
+def randomize_weights(
+    graph: CSRGraph, *, seed: int = 0, max_weight: int = MAX_WEIGHT
+) -> CSRGraph:
+    """Return a copy of ``graph`` with hash-derived random weights.
+
+    Both directed slots of an undirected edge receive the same weight
+    because the hash is computed on the canonical (sorted) endpoint
+    pair.
+    """
+    src = graph.edge_sources()
+    lo = np.minimum(src, graph.col_idx)
+    hi = np.maximum(src, graph.col_idx)
+    w = hash_weight(lo, hi, seed=seed, max_weight=max_weight)
+    return CSRGraph(
+        row_ptr=graph.row_ptr.copy(),
+        col_idx=graph.col_idx.copy(),
+        weights=w.astype(WEIGHT_DTYPE),
+        edge_ids=graph.edge_ids.copy(),
+        name=graph.name,
+    )
+
+
+def quantize_weights(
+    values, *, bits: int = 20, lo: float | None = None, hi: float | None = None
+):
+    """Quantize real-valued edge weights into the integer range the
+    packed ``weight:id`` keys require.
+
+    Real-world inputs often carry float weights (cuGraph ships float
+    and double variants for exactly this reason); the 64-bit atomicMin
+    key leaves 31 bits for the weight, so floats must be mapped onto
+    integers.  Linear quantization preserves the *order* of weights up
+    to ties within a quantization bucket — and any surviving ties are
+    broken deterministically by edge ID, so the computed tree is a
+    valid MSF of the quantized graph.
+
+    Parameters
+    ----------
+    values:
+        Array-like of finite floats.
+    bits:
+        Output precision; results lie in ``[1, 2**bits]``.
+    lo, hi:
+        Optional clamp range; defaults to the data's min/max.
+
+    Returns
+    -------
+    numpy.int64 array of quantized weights.
+    """
+    import numpy as _np
+
+    if not 1 <= bits <= 30:
+        raise ValueError("bits must be in [1, 30]")
+    arr = _np.asarray(values, dtype=_np.float64)
+    if arr.size == 0:
+        return _np.empty(0, dtype=_np.int64)
+    if not _np.isfinite(arr).all():
+        raise ValueError("weights must be finite")
+    lo = float(arr.min()) if lo is None else float(lo)
+    hi = float(arr.max()) if hi is None else float(hi)
+    if hi <= lo:
+        return _np.ones(arr.size, dtype=_np.int64)
+    span = (1 << bits) - 1
+    scaled = _np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+    return (scaled * span).astype(_np.int64) + 1

@@ -1,0 +1,15 @@
+"""Shared test helpers (importable without conftest-name collisions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import build_csr, empty_graph
+
+
+def make_graph(num_vertices: int, edges: list[tuple[int, int, int]], name="g"):
+    """Tiny explicit graph from (u, v, w) triples."""
+    if not edges:
+        return empty_graph(num_vertices, name)
+    u, v, w = (np.array(x, dtype=np.int64) for x in zip(*edges))
+    return build_csr(num_vertices, u, v, w, name=name)

@@ -1,0 +1,93 @@
+"""Tests for the kernel classifier and the one-command report."""
+
+import pytest
+
+from repro.core.config import EclMstConfig
+from repro.core.eclmst import ecl_mst
+from repro.gpusim.analysis import bound_summary, classify_kernel, classify_run
+from repro.gpusim.counters import KernelCounters, RunCounters
+from repro.gpusim.spec import RTX_3080_TI
+
+
+class TestClassifier:
+    def test_memory_bound_kernel(self):
+        k = KernelCounters("k", bytes=1e9)
+        c = classify_kernel(RTX_3080_TI, k)
+        assert c.bound == "memory"
+
+    def test_compute_bound_kernel(self):
+        k = KernelCounters("k", cycles=1e12)
+        assert classify_kernel(RTX_3080_TI, k).bound == "compute"
+
+    def test_atomic_bound_kernel(self):
+        k = KernelCounters("k", atomics=10**9)
+        assert classify_kernel(RTX_3080_TI, k).bound == "atomic"
+
+    def test_critical_path_bound(self):
+        k = KernelCounters("k", critical_items=10**8)
+        assert classify_kernel(RTX_3080_TI, k).bound == "critical-path"
+
+    def test_launch_bound_when_empty(self):
+        assert classify_kernel(RTX_3080_TI, KernelCounters("k")).bound == "launch"
+
+    def test_run_classification_excludes_syncs(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        classes = classify_run(RTX_3080_TI, r.counters)
+        assert all(c.name != "host_sync" for c in classes)
+        assert len(classes) < r.counters.num_launches  # syncs dropped
+
+    def test_shares_sum_to_one(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        shares = bound_summary(RTX_3080_TI, r.counters)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_ecl_is_mostly_memory_bound(self):
+        # The full-size paper code is bandwidth-limited; so is ours at
+        # a non-trivial scale.
+        from repro.generators import suite
+
+        g = suite.build("r4-2e23.sym", scale=0.5)
+        r = ecl_mst(g)
+        shares = bound_summary(RTX_3080_TI, r.counters)
+        assert shares.get("memory", 0.0) > 0.5
+
+    def test_empty_run(self):
+        assert bound_summary(RTX_3080_TI, RunCounters()) == {}
+
+    def test_unguarded_atomics_shift_the_bound(self):
+        from repro.generators import suite
+
+        g = suite.build("coPapersDBLP", scale=0.3)
+        guarded = bound_summary(
+            RTX_3080_TI, ecl_mst(g).counters
+        ).get("atomic", 0.0)
+        unguarded = bound_summary(
+            RTX_3080_TI,
+            ecl_mst(g, EclMstConfig(atomic_guards=False)).counters,
+        ).get("atomic", 0.0)
+        assert unguarded >= guarded
+
+
+class TestReport:
+    def test_generate_report_structure(self, tmp_path):
+        from repro.bench.report import generate_report
+
+        out_file = tmp_path / "report.md"
+        text = generate_report(out_file, scale=0.06)
+        assert out_file.exists()
+        assert "# Reproduction report" in text
+        assert "System 1" in text and "System 2" in text
+        assert "De-optimization ladder" in text
+        assert "Pearson correlation" in text
+        # The dominance flag is present; at this test's tiny scale a
+        # baseline can win a micro-input, so only the full-scale run
+        # (EXPERIMENTS.md, bench_fig4) asserts "yes".
+        assert "fastest on every input:" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out), "--scale", "0.06"]) == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out

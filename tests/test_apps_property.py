@@ -1,0 +1,105 @@
+"""Property-based tests for the application layer."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import bottleneck_weights, kmst_spanner, single_linkage_labels
+from repro.graph.build import build_csr
+from repro.graph.properties import connected_components
+
+
+@st.composite
+def graphs_and_k(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(1, 80))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    g = build_csr(
+        n,
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, 500, m),
+    )
+    k = draw(st.integers(1, n))
+    return g, k
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(gk=graphs_and_k())
+def test_single_linkage_partition_is_valid(gk):
+    g, k = gk
+    labels = single_linkage_labels(g, k)
+    n_cc, comp = connected_components(g)
+    # Cluster count: k clamped between component count and |V|.
+    count = np.unique(labels).size
+    assert count == min(max(k, n_cc), g.num_vertices)
+    # Clusters never span graph components.
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        assert np.unique(comp[members]).size == 1
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(gk=graphs_and_k())
+def test_spanner_preserves_connectivity(gk):
+    g, k = gk
+    k = min(k, 3)
+    s = kmst_spanner(g, k)
+    n_before, _ = connected_components(g)
+    n_after, _ = connected_components(s)
+    assert n_before == n_after
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(gk=graphs_and_k(), seed=st.integers(0, 2**31 - 1))
+def test_bottleneck_is_minimax_over_tree_paths(gk, seed):
+    """For connected pairs, the answer equals the true minimax over the
+    original graph (the MST minimax property), which we check against a
+    brute-force threshold search."""
+    g, _ = gk
+    rng = np.random.default_rng(seed)
+    a = int(rng.integers(g.num_vertices))
+    b = int(rng.integers(g.num_vertices))
+    (ans,) = bottleneck_weights(g, [(a, b)])
+    n_cc, comp = connected_components(g)
+    if comp[a] != comp[b]:
+        assert ans is None
+        return
+    if a == b:
+        assert ans == 0
+        return
+    # Brute force: smallest W such that the subgraph of edges with
+    # weight <= W connects a and b.
+    u, v, w, _ = g.undirected_edges()
+    candidates = np.unique(w)
+    best = None
+    for W in candidates:
+        keep = w <= W
+        parent = list(range(g.num_vertices))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i in np.flatnonzero(keep):
+            ra, rb = find(int(u[i])), find(int(v[i]))
+            if ra != rb:
+                parent[ra] = rb
+        if find(a) == find(b):
+            best = int(W)
+            break
+    assert ans == best

@@ -1,0 +1,82 @@
+"""Artifact-style workflow tests (set_up / run_all_* / generate_*)."""
+
+import csv
+
+import pytest
+
+from repro.bench import artifact
+from repro.bench.harness import SYSTEM2
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("artifact")
+    artifact.run_all_compare(
+        d, system=SYSTEM2, scale=SCALE, codes=("ECL-MST", "Jucele GPU", "PBBS Ser.")
+    )
+    artifact.run_all_deoptimize(d, system=SYSTEM2, scale=SCALE)
+    return d
+
+
+class TestSetUp:
+    def test_writes_all_inputs(self, tmp_path):
+        paths = artifact.set_up(tmp_path / "inputs", scale=0.05)
+        assert len(paths) == 17
+        for p in paths.values():
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_written_graphs_load_back(self, tmp_path):
+        from repro.graph.io import load_ecl
+
+        paths = artifact.set_up(tmp_path / "inputs", scale=0.05)
+        g = load_ecl(paths["internet"])
+        assert g.num_vertices > 0
+
+
+class TestRunAllCompare:
+    def test_one_csv_per_code(self, workdir):
+        names = {p.name for p in workdir.glob("*_out.csv")}
+        assert {"ecl_mst_out.csv", "jucele_gpu_out.csv", "pbbs_ser_out.csv"} <= names
+
+    def test_csv_rows_cover_inputs(self, workdir):
+        with open(workdir / "ecl_mst_out.csv") as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 17
+        assert all(float(r["seconds"]) > 0 for r in rows)
+
+    def test_nc_cells_written(self, workdir):
+        with open(workdir / "jucele_gpu_out.csv") as f:
+            rows = list(csv.DictReader(f))
+        nc = [r for r in rows if r["seconds"] == "NC"]
+        assert len(nc) == 8  # the 8 multi-component inputs
+
+    def test_weights_agree_across_codes(self, workdir):
+        weights = {}
+        for name in ("ecl_mst_out.csv", "pbbs_ser_out.csv"):
+            with open(workdir / name) as f:
+                for r in csv.DictReader(f):
+                    weights.setdefault(r["input"], set()).add(r["total_weight"])
+        for inp, vals in weights.items():
+            assert len(vals) == 1, inp
+
+
+class TestGenerateTables:
+    def test_compare_table_from_csv(self, workdir):
+        out = artifact.generate_compare_tables(workdir)
+        assert out.startswith("input,")
+        assert "MSF GeoMean" in out and "MST GeoMean" in out
+        # Jucele's MSF geomean must be NC, its MST geomean numeric.
+        msf_row = next(l for l in out.splitlines() if l.startswith("MSF GeoMean"))
+        assert "NC" in msf_row
+
+    def test_deopt_table_from_csv(self, workdir):
+        out = artifact.generate_deopt_tables(workdir)
+        assert "No Impl. Path Compr." in out
+        assert "MST GeoMean" in out
+        assert len(out.splitlines()) == 11  # header + 9 inputs + geomean
+
+    def test_missing_directory_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            artifact.generate_compare_tables(tmp_path / "empty")

@@ -1,0 +1,164 @@
+"""Baseline correctness: every comparator computes the identical MSF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NotConnectedError,
+    RUNNERS,
+    TABLE_CODES,
+    cugraph_mst,
+    filter_kruskal_mst,
+    get_runner,
+    gunrock_mst,
+    jucele_mst,
+    kruskal_serial_mst,
+    lonestar_cpu_mst,
+    pbbs_parallel_mst,
+    prim_mst,
+    qkruskal_mst,
+    uminho_cpu_mst,
+    uminho_gpu_mst,
+)
+from repro.core.verify import reference_mst_mask
+from repro.generators import suite
+
+MSF_RUNNERS = [
+    cugraph_mst,
+    uminho_gpu_mst,
+    uminho_cpu_mst,
+    lonestar_cpu_mst,
+    pbbs_parallel_mst,
+    kruskal_serial_mst,
+    qkruskal_mst,
+    filter_kruskal_mst,
+    prim_mst,
+]
+MST_ONLY_RUNNERS = [jucele_mst, gunrock_mst]
+
+
+@pytest.mark.parametrize(
+    "runner", MSF_RUNNERS, ids=lambda f: f.__name__
+)
+class TestMsfRunners:
+    def test_matches_reference(self, runner, medium_graph):
+        r = runner(medium_graph)
+        assert np.array_equal(r.in_mst, reference_mst_mask(medium_graph))
+
+    def test_two_components(self, runner, two_components):
+        r = runner(two_components)
+        assert r.num_mst_edges == 4
+        assert r.total_weight == 1 + 2 + 4 + 5
+
+    def test_modeled_time_positive(self, runner, triangle):
+        assert runner(triangle).modeled_seconds > 0
+
+
+@pytest.mark.parametrize(
+    "runner", MST_ONLY_RUNNERS, ids=lambda f: f.__name__
+)
+class TestMstOnlyRunners:
+    def test_matches_reference_when_connected(self, runner, paper_figure1):
+        r = runner(paper_figure1)
+        assert np.array_equal(r.in_mst, reference_mst_mask(paper_figure1))
+
+    def test_raises_nc_on_msf_input(self, runner, two_components):
+        with pytest.raises(NotConnectedError):
+            runner(two_components)
+
+    def test_medium_connected_inputs(self, runner):
+        g = suite.build("delaunay_n24", scale=0.05)
+        r = runner(g)
+        assert np.array_equal(r.in_mst, reference_mst_mask(g))
+
+
+class TestCugraphPrecision:
+    def test_float_faster_than_double(self):
+        g = suite.build("coPapersDBLP", scale=0.2)
+        d = cugraph_mst(g, precision="double")
+        f = cugraph_mst(g, precision="float")
+        assert f.modeled_seconds < d.modeled_seconds
+        assert np.array_equal(f.in_mst, d.in_mst)
+
+    def test_invalid_precision(self, triangle):
+        with pytest.raises(ValueError):
+            cugraph_mst(triangle, precision="half")
+
+
+class TestRegistry:
+    def test_table_codes_resolvable(self):
+        for code in TABLE_CODES:
+            assert get_runner(code).name == code
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError, match="unknown MST code"):
+            get_runner("FasterThanLight")
+
+    def test_msf_capability_flags(self):
+        assert not RUNNERS["Jucele GPU"].supports_msf
+        assert not RUNNERS["Gunrock GPU"].supports_msf
+        assert RUNNERS["cuGraph GPU"].supports_msf
+        assert RUNNERS["PBBS Ser."].supports_msf
+
+    def test_hardware_kinds(self):
+        assert RUNNERS["ECL-MST"].kind == "gpu"
+        assert RUNNERS["PBBS CPU"].kind == "cpu-parallel"
+        assert RUNNERS["PBBS Ser."].kind == "cpu-serial"
+
+    def test_runner_run_dispatch(self, triangle):
+        from repro.gpusim.spec import RTX_3080_TI, XEON_GOLD_6226R_X2
+
+        for code in ("ECL-MST", "PBBS CPU", "PBBS Ser."):
+            r = get_runner(code).run(
+                triangle, gpu=RTX_3080_TI, cpu=XEON_GOLD_6226R_X2
+            )
+            assert r.num_mst_edges == 2
+
+
+class TestRelativePerformanceShape:
+    """Key Table-3/4 relationships on representative inputs."""
+
+    def test_ecl_fastest_on_every_suite_input(self):
+        from repro.core.eclmst import ecl_mst
+
+        for name in ("coPapersDBLP", "USA-road-d.NY", "r4-2e23.sym"):
+            g = suite.build(name, scale=0.3)
+            ecl = ecl_mst(g).modeled_seconds
+            for runner in MSF_RUNNERS:
+                assert ecl < runner(g).modeled_seconds, (name, runner.__name__)
+
+    def test_uminho_gpu_best_baseline_on_roads(self):
+        g = suite.build("europe_osm", scale=0.5)
+        um = uminho_gpu_mst(g).modeled_seconds
+        assert um < cugraph_mst(g).modeled_seconds
+        assert um < pbbs_parallel_mst(g).modeled_seconds
+
+    def test_cugraph_struggles_on_roads(self):
+        # cuGraph's flood propagation is the paper's worst case on
+        # europe_osm; UMinho GPU (jumping + contraction) is its best.
+        g = suite.build("europe_osm", scale=0.5)
+        assert (
+            cugraph_mst(g).modeled_seconds
+            > 5 * uminho_gpu_mst(g).modeled_seconds
+        )
+
+    def test_serial_slowest_cpu_family(self):
+        g = suite.build("r4-2e23.sym", scale=0.3)
+        assert (
+            kruskal_serial_mst(g).modeled_seconds
+            > pbbs_parallel_mst(g).modeled_seconds
+        )
+
+    def test_lonestar_slower_than_serial_on_scale_free(self):
+        g = suite.build("kron_g500-logn21", scale=0.5)
+        assert (
+            lonestar_cpu_mst(g).modeled_seconds
+            > kruskal_serial_mst(g).modeled_seconds * 0.8
+        )
+
+    def test_filter_kruskal_beats_plain_kruskal_dense(self):
+        g = suite.build("coPapersDBLP", scale=0.3)
+        assert (
+            filter_kruskal_mst(g).modeled_seconds
+            < kruskal_serial_mst(g).modeled_seconds
+        )

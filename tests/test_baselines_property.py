@@ -1,0 +1,92 @@
+"""Property-based cross-validation of every baseline against the
+reference MSF on random graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import (
+    NotConnectedError,
+    cugraph_mst,
+    filter_kruskal_mst,
+    gunrock_mst,
+    jucele_mst,
+    kruskal_serial_mst,
+    lonestar_cpu_mst,
+    pbbs_parallel_mst,
+    prim_mst,
+    qkruskal_mst,
+    uminho_cpu_mst,
+    uminho_gpu_mst,
+)
+from repro.core.verify import reference_mst_mask
+from repro.graph.build import build_csr
+
+ALL_RUNNERS = [
+    cugraph_mst,
+    uminho_gpu_mst,
+    uminho_cpu_mst,
+    lonestar_cpu_mst,
+    pbbs_parallel_mst,
+    kruskal_serial_mst,
+    qkruskal_mst,
+    filter_kruskal_mst,
+    prim_mst,
+]
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(0, 90))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, m)
+    v = rng.integers(0, n, m)
+    w = rng.integers(1, draw(st.sampled_from([3, 50, 5000])), size=m)
+    return build_csr(n, u, v, w)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(g=random_graphs())
+@pytest.mark.parametrize("runner", ALL_RUNNERS, ids=lambda f: f.__name__)
+def test_baseline_equals_reference(runner, g):
+    r = runner(g)
+    assert np.array_equal(r.in_mst, reference_mst_mask(g))
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(g=random_graphs())
+@pytest.mark.parametrize(
+    "runner", [jucele_mst, gunrock_mst], ids=lambda f: f.__name__
+)
+def test_mst_only_baselines(runner, g):
+    from repro.graph.properties import connected_components
+
+    n_cc, _ = connected_components(g)
+    if n_cc > 1:
+        with pytest.raises(NotConnectedError):
+            runner(g)
+    else:
+        r = runner(g)
+        assert np.array_equal(r.in_mst, reference_mst_mask(g))
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(g=random_graphs())
+def test_all_runners_agree_on_weight(g):
+    """Total MSF weight is identical across every implementation."""
+    weights = {runner(g).total_weight for runner in ALL_RUNNERS}
+    assert len(weights) == 1

@@ -1,0 +1,164 @@
+"""Invariant tests for the shared Borůvka round machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines._boruvka_common import (
+    boruvka_round,
+    graph_flood_iterations,
+    propagate_colors,
+)
+from repro.graph.build import build_csr
+
+
+def _slots(g):
+    return (
+        g.edge_sources().astype(np.int64),
+        g.col_idx.astype(np.int64),
+        g.weights.astype(np.int64),
+        g.edge_ids.astype(np.int64),
+    )
+
+
+def _graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    return build_csr(
+        n,
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, 1000, m),
+    )
+
+
+class TestBoruvkaRound:
+    def test_winners_nonempty_while_cross_edges_exist(self):
+        g = _graph(30, 80, 0)
+        src, dst, w, eid = _slots(g)
+        comp = np.arange(30, dtype=np.int64)
+        rnd = boruvka_round(src, dst, w, eid, comp)
+        if rnd.cross_edges:
+            assert rnd.winner_eids.size > 0
+
+    def test_components_strictly_decrease(self):
+        g = _graph(40, 120, 1)
+        src, dst, w, eid = _slots(g)
+        comp = np.arange(40, dtype=np.int64)
+        prev = 40
+        for _ in range(20):
+            rnd = boruvka_round(src, dst, w, eid, comp)
+            if rnd.cross_edges == 0:
+                break
+            assert rnd.num_components < prev
+            prev = rnd.num_components
+            comp = rnd.new_comp
+        else:
+            pytest.fail("Borůvka did not converge in 20 rounds")
+
+    def test_winner_edges_are_mst_edges(self):
+        from repro.core.verify import reference_mst_mask
+
+        g = _graph(40, 150, 2)
+        ref = reference_mst_mask(g)
+        src, dst, w, eid = _slots(g)
+        comp = np.arange(40, dtype=np.int64)
+        while True:
+            rnd = boruvka_round(src, dst, w, eid, comp)
+            assert ref[rnd.winner_eids].all()  # winners ⊆ unique MST
+            if rnd.cross_edges == 0:
+                break
+            comp = rnd.new_comp
+
+    def test_terminal_round_reports_components(self, two_components=None):
+        g = _graph(10, 0, 3)  # edgeless
+        src, dst, w, eid = _slots(g)
+        rnd = boruvka_round(src, dst, w, eid, np.arange(10, dtype=np.int64))
+        assert rnd.cross_edges == 0
+        assert rnd.num_components == 10
+        assert rnd.winner_eids.size == 0
+
+    def test_contention_bounded_by_cross_edges(self):
+        g = _graph(25, 100, 4)
+        src, dst, w, eid = _slots(g)
+        rnd = boruvka_round(src, dst, w, eid, np.arange(25, dtype=np.int64))
+        assert 0 < rnd.atomic_contention <= 2 * rnd.cross_edges
+
+    def test_flood_at_least_jumping(self):
+        # One-hop flooding can never need fewer steps than doubling.
+        g = _graph(60, 90, 5)
+        src, dst, w, eid = _slots(g)
+        rnd = boruvka_round(src, dst, w, eid, np.arange(60, dtype=np.int64))
+        assert rnd.flood_iterations >= rnd.prop_iterations - 1
+
+
+class TestPropagateColors:
+    def test_flattens_chain(self):
+        labels = np.array([0, 0, 1, 2, 3], dtype=np.int64)
+        flat, iters = propagate_colors(labels)
+        assert np.array_equal(flat, np.zeros(5, dtype=np.int64))
+        assert iters <= 4  # doubling: log2(depth) + 1
+
+    def test_identity_stable(self):
+        labels = np.arange(6, dtype=np.int64)
+        flat, iters = propagate_colors(labels)
+        assert np.array_equal(flat, labels)
+        assert iters == 1
+
+
+class TestGraphFlood:
+    def test_path_flood_is_linear(self):
+        # A path graph merged into one component floods in ~n hops.
+        n = 20
+        u = np.arange(n - 1)
+        v = np.arange(1, n)
+        g = build_csr(n, u, v, np.arange(1, n))
+        src, dst, w, eid = _slots(g)
+        old = np.arange(n, dtype=np.int64)
+        new = np.zeros(n, dtype=np.int64)
+        iters = graph_flood_iterations(src, dst, old, new)
+        assert iters >= n - 2  # label 0 travels the whole path
+
+    def test_star_flood_is_constant(self):
+        n = 20
+        u = np.zeros(n - 1, dtype=np.int64)
+        v = np.arange(1, n)
+        g = build_csr(n, u, v, np.arange(1, n))
+        src, dst, w, eid = _slots(g)
+        iters = graph_flood_iterations(
+            src, dst, np.arange(n, dtype=np.int64), np.zeros(n, dtype=np.int64)
+        )
+        assert iters <= 3
+
+    def test_no_merge_no_flood(self):
+        g = _graph(10, 20, 6)
+        src, dst, w, eid = _slots(g)
+        comp = np.arange(10, dtype=np.int64)
+        assert graph_flood_iterations(src, dst, comp, comp) == 0
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(2, 40),
+    m=st.integers(1, 120),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_repeated_rounds_build_the_msf(n, m, seed):
+    """Iterating boruvka_round to fixpoint yields exactly the MSF."""
+    from repro.core.verify import reference_mst_mask
+
+    g = _graph(n, m, seed)
+    ref = reference_mst_mask(g)
+    src, dst, w, eid = _slots(g)
+    comp = np.arange(n, dtype=np.int64)
+    selected = np.zeros(g.num_edges, dtype=bool)
+    for _ in range(n + 2):
+        rnd = boruvka_round(src, dst, w, eid, comp)
+        selected[rnd.winner_eids] = True
+        comp = rnd.new_comp
+        if rnd.cross_edges == 0:
+            break
+    assert np.array_equal(selected, ref)

@@ -1,0 +1,93 @@
+"""Unit tests for edge-list cleanup and CSR assembly."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import build_csr, empty_graph
+
+
+class TestCleanup:
+    def test_self_loops_removed(self):
+        g = build_csr(3, [0, 1, 2], [0, 2, 2], [5, 1, 9])
+        assert g.num_edges == 1  # (1,2) survives, (0,0) and (2,2) dropped
+        g.validate()
+
+    def test_duplicate_edges_merged_min(self):
+        g = build_csr(2, [0, 1, 0], [1, 0, 1], [5, 3, 9])
+        assert g.num_edges == 1
+        assert g.weights[0] == 3  # lightest parallel edge kept
+
+    def test_duplicate_edges_merged_max(self):
+        g = build_csr(2, [0, 0], [1, 1], [5, 9], dedup="max")
+        assert g.weights[0] == 9
+
+    def test_duplicate_edges_first(self):
+        g = build_csr(2, [0, 0], [1, 1], [5, 9], dedup="first")
+        assert g.weights[0] == 5
+
+    def test_unknown_dedup_rejected(self):
+        with pytest.raises(ValueError, match="dedup"):
+            build_csr(2, [0], [1], [1], dedup="median")
+
+    def test_direction_canonicalized(self):
+        a = build_csr(3, [2, 1], [0, 0], [4, 7])
+        b = build_csr(3, [0, 0], [2, 1], [4, 7])
+        assert np.array_equal(a.col_idx, b.col_idx)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_default_weights_are_one(self):
+        g = build_csr(3, [0, 1], [1, 2], None)
+        assert set(g.weights.tolist()) == {1}
+
+
+class TestErrors:
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(ValueError, match="range"):
+            build_csr(2, [0], [5], [1])
+
+    def test_negative_endpoint(self):
+        with pytest.raises(ValueError, match="range"):
+            build_csr(2, [-1], [1], [1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            build_csr(3, [0, 1], [1], [1, 1])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError, match="one entry"):
+            build_csr(3, [0, 1], [1, 2], [1])
+
+
+class TestAssembly:
+    def test_empty_edge_list(self):
+        g = build_csr(4, [], [], [])
+        assert g.num_edges == 0
+        assert g.num_vertices == 4
+        g.validate()
+
+    def test_empty_graph_helper(self):
+        g = empty_graph(0)
+        assert g.num_vertices == 0
+
+    def test_deterministic_edge_ids(self):
+        # IDs follow (lo, hi) lexicographic order regardless of input order.
+        g1 = build_csr(4, [2, 0, 1], [3, 1, 2], [7, 8, 9])
+        g2 = build_csr(4, [0, 1, 2], [1, 2, 3], [8, 9, 7])
+        u1, v1, w1, e1 = g1.undirected_edges()
+        u2, v2, w2, e2 = g2.undirected_edges()
+        assert np.array_equal(u1, u2) and np.array_equal(v1, v2)
+        assert np.array_equal(w1, w2) and np.array_equal(e1, e2)
+
+    def test_isolated_vertices_allowed(self):
+        g = build_csr(10, [0], [1], [3])
+        assert g.num_vertices == 10
+        assert g.degrees()[2:].sum() == 0
+        g.validate()
+
+    def test_large_random_roundtrip_valid(self):
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 200, 3000)
+        v = rng.integers(0, 200, 3000)
+        w = rng.integers(1, 1000, 3000)
+        g = build_csr(200, u, v, w)
+        g.validate()

@@ -1,0 +1,100 @@
+"""Section 3.1 convergence tests — the paper's fourth contribution.
+
+"We demonstrate that Kruskal's and Borůvka's MST algorithms converge
+to the same parallelization" — here checked *operationally*: the
+unsorted-Kruskal and Borůvka parallelizations must select the same
+winner edges in the same rounds on every input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.convergence import (
+    boruvka_parallel,
+    kruskal_chunked_sorted,
+    kruskal_unsorted,
+    trace_equivalence,
+)
+from repro.core.verify import reference_mst_mask
+from repro.generators import suite
+from repro.graph.build import build_csr
+
+
+class TestIndividualAlgorithms:
+    @pytest.mark.parametrize(
+        "algo",
+        [kruskal_chunked_sorted, kruskal_unsorted, boruvka_parallel],
+        ids=lambda f: f.__name__,
+    )
+    def test_computes_the_unique_msf(self, algo, medium_graph):
+        trace = algo(medium_graph)
+        assert np.array_equal(trace.in_mst, reference_mst_mask(medium_graph))
+
+    def test_chunked_sorted_respects_chunks(self, medium_graph):
+        small = kruskal_chunked_sorted(medium_graph, chunk_size=16)
+        big = kruskal_chunked_sorted(medium_graph, chunk_size=10**9)
+        assert small.edge_set() == big.edge_set()
+        assert small.rounds >= big.rounds  # more chunks, more rounds
+
+    def test_round_counts_logarithmic(self, medium_graph):
+        import math
+
+        trace = kruskal_unsorted(medium_graph)
+        assert trace.rounds <= math.log2(medium_graph.num_vertices) + 4
+
+
+class TestConvergence:
+    def test_suite_inputs_converge(self):
+        for name in ("USA-road-d.NY", "coPapersDBLP", "rmat16.sym"):
+            g = suite.build(name, scale=0.1)
+            rep = trace_equivalence(g)
+            assert rep.converged, name
+
+    def test_unsorted_and_boruvka_round_identical(self, medium_graph):
+        ku = kruskal_unsorted(medium_graph)
+        bo = boruvka_parallel(medium_graph)
+        # The paper: "there is no actual difference in the codes" —
+        # same winners, same rounds, round by round.
+        assert ku.winners_per_round == bo.winners_per_round
+
+    def test_report_fields(self, triangle):
+        rep = trace_equivalence(triangle)
+        assert rep.converged
+        assert all(r >= 1 for r in rep.rounds)
+
+    def test_msf_input(self, two_components):
+        rep = trace_equivalence(two_components)
+        assert rep.converged
+
+    def test_empty_graph(self):
+        from repro.graph.build import empty_graph
+
+        rep = trace_equivalence(empty_graph(5))
+        assert rep.same_edge_set and rep.same_round_structure
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(2, 35),
+    m=st.integers(0, 100),
+    seed=st.integers(0, 2**31 - 1),
+    wmax=st.sampled_from([2, 10, 10_000]),
+)
+def test_property_convergence_on_random_graphs(n, m, seed, wmax):
+    rng = np.random.default_rng(seed)
+    g = build_csr(
+        n,
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, wmax + 1, m),
+    )
+    rep = trace_equivalence(g)
+    assert rep.converged
+    # And all three match the external reference.
+    ref = reference_mst_mask(g)
+    assert np.array_equal(kruskal_unsorted(g).in_mst, ref)

@@ -1,0 +1,139 @@
+"""Cost-model arithmetic tests."""
+
+import pytest
+
+from repro.gpusim.costmodel import CpuMachine, Device, cpu_phase_seconds, gpu_kernel_seconds
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.spec import (
+    CPUSpec,
+    RTX_3080_TI,
+    THREADRIPPER_2950X,
+    TITAN_V,
+    XEON_GOLD_6226R_X2,
+)
+
+
+class TestGpuKernelPricing:
+    def test_launch_overhead_floor(self):
+        k = KernelCounters("k")
+        t = gpu_kernel_seconds(RTX_3080_TI, k)
+        assert t == pytest.approx(RTX_3080_TI.kernel_launch_us * 1e-6)
+
+    def test_memory_bound(self):
+        k = KernelCounters("k", bytes=1e9)
+        t = gpu_kernel_seconds(RTX_3080_TI, k)
+        expected = 1e9 / (RTX_3080_TI.effective_bandwidth_gbs * 1e9)
+        assert t == pytest.approx(expected + RTX_3080_TI.kernel_launch_us * 1e-6)
+
+    def test_compute_and_memory_overlap(self):
+        mem_only = gpu_kernel_seconds(RTX_3080_TI, KernelCounters("k", bytes=1e9))
+        both = gpu_kernel_seconds(
+            RTX_3080_TI, KernelCounters("k", bytes=1e9, cycles=1.0)
+        )
+        assert both == pytest.approx(mem_only)  # max(), not sum
+
+    def test_atomics_additive(self):
+        base = gpu_kernel_seconds(RTX_3080_TI, KernelCounters("k", bytes=1e6))
+        with_atomics = gpu_kernel_seconds(
+            RTX_3080_TI, KernelCounters("k", bytes=1e6, atomics=10_000_000)
+        )
+        assert with_atomics > base
+
+    def test_contention_dominates_throughput(self):
+        spread = KernelCounters("k", atomics=1000)
+        hot = KernelCounters("k", atomics=1000, atomic_max_contention=1000)
+        assert gpu_kernel_seconds(RTX_3080_TI, hot) > gpu_kernel_seconds(
+            RTX_3080_TI, spread
+        )
+
+    def test_critical_path_floor(self):
+        k = KernelCounters("k", critical_items=1_000_000)
+        t = gpu_kernel_seconds(RTX_3080_TI, k)
+        assert t >= 1_000_000 * RTX_3080_TI.dependent_access_ns * 1e-9
+
+    def test_titan_slower_than_ampere(self):
+        k = KernelCounters("k", bytes=1e8, cycles=1e8)
+        assert gpu_kernel_seconds(TITAN_V, k) > gpu_kernel_seconds(RTX_3080_TI, k)
+
+
+class TestDevice:
+    def test_accumulates(self):
+        d = Device(RTX_3080_TI)
+        d.launch("a", bytes_=1e6)
+        d.launch("b", bytes_=2e6)
+        assert d.counters.num_launches == 2
+        assert d.elapsed_seconds > 0
+
+    def test_host_sync_charges(self):
+        d = Device(RTX_3080_TI)
+        before = d.elapsed_seconds
+        d.host_sync()
+        assert d.elapsed_seconds - before == pytest.approx(
+            RTX_3080_TI.host_sync_us * 1e-6
+        )
+
+    def test_seconds_by_kernel(self):
+        d = Device(RTX_3080_TI)
+        d.launch("a", bytes_=1e6)
+        d.launch("a", bytes_=1e6)
+        d.launch("b", bytes_=1e6)
+        by = d.counters.seconds_by_kernel()
+        assert by["a"] == pytest.approx(2 * by["b"])
+
+    def test_memcpy_positive(self):
+        d = Device(RTX_3080_TI)
+        assert d.memcpy_seconds(1e6) > 1e6 / (7e9)
+
+
+class TestCpuModel:
+    def test_serial_uses_one_core(self):
+        serial = cpu_phase_seconds(XEON_GOLD_6226R_X2, ops=1e9, threads=1)
+        parallel = cpu_phase_seconds(XEON_GOLD_6226R_X2, ops=1e9, threads=32)
+        assert serial > parallel
+
+    def test_parallel_efficiency_below_linear(self):
+        serial = cpu_phase_seconds(XEON_GOLD_6226R_X2, ops=1e9, threads=1)
+        parallel = cpu_phase_seconds(XEON_GOLD_6226R_X2, ops=1e9, threads=32)
+        speedup = serial / parallel
+        assert 2 < speedup < 32
+
+    def test_sync_overhead(self):
+        no_sync = cpu_phase_seconds(XEON_GOLD_6226R_X2, ops=0, syncs=0)
+        with_sync = cpu_phase_seconds(XEON_GOLD_6226R_X2, ops=0, syncs=5)
+        assert with_sync - no_sync == pytest.approx(
+            5 * XEON_GOLD_6226R_X2.sync_us * 1e-6
+        )
+
+    def test_machine_serial_flag(self):
+        m = CpuMachine(XEON_GOLD_6226R_X2)
+        k_par = m.phase("p", ops=1e9)
+        k_ser = m.phase("s", ops=1e9, serial=True)
+        assert k_ser.modeled_seconds > k_par.modeled_seconds
+
+    def test_thread_cap(self):
+        m = CpuMachine(THREADRIPPER_2950X, threads=1000)
+        spec = THREADRIPPER_2950X
+        assert spec.compute_gcycles_per_s(1000) == spec.compute_gcycles_per_s(
+            spec.cores
+        )
+
+
+class TestSpecs:
+    def test_total_cores(self):
+        assert TITAN_V.total_cores == 5120
+        assert RTX_3080_TI.total_cores == 10240
+
+    def test_effective_bandwidth_below_peak(self):
+        for spec in (TITAN_V, RTX_3080_TI):
+            assert spec.effective_bandwidth_gbs < spec.mem_bandwidth_gbs
+
+    def test_specs_frozen(self):
+        with pytest.raises(Exception):
+            TITAN_V.num_sms = 1
+
+    def test_run_counters_summary_keys(self):
+        d = Device(RTX_3080_TI)
+        d.launch("a", items=5, bytes_=10, atomics=2, find_jumps=3)
+        s = d.counters.summary()
+        for key in ("launches", "items", "bytes", "atomics", "find_jumps", "seconds"):
+            assert key in s

@@ -1,0 +1,148 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import build_csr, empty_graph
+from repro.graph.csr import CSRGraph
+
+from helpers import make_graph
+
+
+class TestBasicShape:
+    def test_counts(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert triangle.num_directed_edges == 6
+
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.num_directed_edges == 0
+        g.validate()
+
+    def test_single_edge(self):
+        g = make_graph(2, [(0, 1, 7)])
+        assert g.num_edges == 1
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbor_weights(0).tolist() == [7]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_degrees(self, triangle):
+        assert triangle.degrees().tolist() == [2, 2, 2]
+
+    def test_star_degrees(self, star_graph):
+        degs = star_graph.degrees()
+        assert degs[0] == 20
+        assert set(degs[1:].tolist()) == {1}
+
+
+class TestEdgeIdentity:
+    def test_mirrored_slots_share_weight_and_id(self, paper_figure1):
+        g = paper_figure1
+        src = g.edge_sources()
+        for v in range(g.num_vertices):
+            for j, n in enumerate(g.neighbors(v)):
+                eid = g.neighbor_edge_ids(v)[j]
+                w = g.neighbor_weights(v)[j]
+                # Find the mirror slot n -> v.
+                back = np.flatnonzero(g.neighbors(n) == v)
+                assert back.size == 1
+                assert g.neighbor_edge_ids(n)[back[0]] == eid
+                assert g.neighbor_weights(n)[back[0]] == w
+        assert src.size == g.num_directed_edges
+
+    def test_edge_ids_cover_range(self, medium_graph):
+        ids = np.sort(np.unique(medium_graph.edge_ids))
+        assert np.array_equal(ids, np.arange(medium_graph.num_edges))
+
+    def test_undirected_edges_one_per_id(self, medium_graph):
+        u, v, w, eid = medium_graph.undirected_edges()
+        assert np.array_equal(np.sort(eid), np.arange(medium_graph.num_edges))
+        assert np.all(u < v)
+
+    def test_iter_edges_matches_arrays(self, triangle):
+        rows = list(triangle.iter_edges())
+        u, v, w, eid = triangle.undirected_edges()
+        assert rows == list(zip(u.tolist(), v.tolist(), w.tolist(), eid.tolist()))
+
+
+class TestValidate:
+    def test_valid_graphs_pass(self, medium_graph):
+        medium_graph.validate()
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="entries"):
+            CSRGraph(
+                row_ptr=np.array([0, 2]),
+                col_idx=np.array([1], dtype=np.int32),
+                weights=np.array([1], dtype=np.int32),
+                edge_ids=np.array([0], dtype=np.int32),
+            )
+
+    def test_rejects_self_loop(self):
+        g = make_graph(2, [(0, 1, 1)])
+        bad = CSRGraph(
+            row_ptr=g.row_ptr.copy(),
+            col_idx=g.col_idx.copy(),
+            weights=g.weights.copy(),
+            edge_ids=g.edge_ids.copy(),
+        )
+        bad.col_idx[0] = 0  # 0 -> 0 self loop
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_asymmetric_weights(self, triangle):
+        bad = CSRGraph(
+            row_ptr=triangle.row_ptr.copy(),
+            col_idx=triangle.col_idx.copy(),
+            weights=triangle.weights.copy(),
+            edge_ids=triangle.edge_ids.copy(),
+        )
+        bad.weights[0] += 1
+        with pytest.raises(ValueError, match="mirror"):
+            bad.validate()
+
+    def test_rejects_out_of_range_neighbor(self, triangle):
+        bad = CSRGraph(
+            row_ptr=triangle.row_ptr.copy(),
+            col_idx=triangle.col_idx.copy(),
+            weights=triangle.weights.copy(),
+            edge_ids=triangle.edge_ids.copy(),
+        )
+        bad.col_idx[0] = 99
+        with pytest.raises(ValueError, match="range"):
+            bad.validate()
+
+    def test_rejects_bad_edge_ids(self, triangle):
+        bad = CSRGraph(
+            row_ptr=triangle.row_ptr.copy(),
+            col_idx=triangle.col_idx.copy(),
+            weights=triangle.weights.copy(),
+            edge_ids=triangle.edge_ids.copy(),
+        )
+        bad.edge_ids[:] = 0
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_rejects_empty_row_ptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                row_ptr=np.empty(0, dtype=np.int64),
+                col_idx=np.empty(0, dtype=np.int32),
+                weights=np.empty(0, dtype=np.int32),
+                edge_ids=np.empty(0, dtype=np.int32),
+            )
+
+
+class TestNeighborViews:
+    def test_neighbors_sorted(self, medium_graph):
+        g = medium_graph
+        for v in range(0, g.num_vertices, max(1, g.num_vertices // 17)):
+            nbrs = g.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)  # sorted, no duplicates
+
+    def test_edge_sources_expansion(self, triangle):
+        src = triangle.edge_sources()
+        assert src.tolist() == [0, 0, 1, 1, 2, 2]

@@ -1,0 +1,52 @@
+"""Diagnostics: launch timeline rendering and the §5.2 degree-throughput
+correlation experiment."""
+
+from repro.bench.experiments import exp_degree_correlation
+from repro.core.eclmst import ecl_mst
+from repro.gpusim.counters import RunCounters
+
+
+class TestTimeline:
+    def test_rows_match_launches(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        lines = r.counters.render_timeline().splitlines()
+        assert len(lines) == r.counters.num_launches
+
+    def test_contains_kernel_names_and_units(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        out = r.counters.render_timeline()
+        assert "init" in out and "k1_reserve" in out and "us" in out
+
+    def test_bars_proportional(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        out = r.counters.render_timeline()
+        slowest = max(r.counters.kernels, key=lambda k: k.modeled_seconds)
+        row = next(
+            l for l in out.splitlines() if f" {slowest.name} " in f" {l} "
+            and f"{slowest.modeled_seconds * 1e6:9.2f}us" in l
+        )
+        assert row.count("#") >= max(
+            l.count("#") for l in out.splitlines()
+        ) - 1
+
+    def test_empty_counters(self):
+        assert RunCounters().render_timeline() == "(no launches)"
+
+
+class TestDegreeCorrelation:
+    def test_positive_correlation(self):
+        out = exp_degree_correlation(0.15)
+        corr = float(out.splitlines()[-1].split(",")[-1])
+        # The paper: throughput "significantly correlate[s] with the
+        # average degree".
+        assert corr > 0.5
+
+    def test_all_inputs_listed(self):
+        out = exp_degree_correlation(0.1)
+        assert len(out.splitlines()) == 1 + 17 + 1  # header + inputs + corr
+
+    def test_registered_in_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["degcorr", "--scale", "0.08"]) == 0
+        assert "pearson_correlation" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Vectorized multi-find tests (the kernel-side DSU operations)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dsu.arrays import DisjointSet
+from repro.dsu.vectorized import compress_halving_many, find_many
+
+
+def _random_forest(n: int, seed: int) -> np.ndarray:
+    """A random parent forest with edges pointing to lower IDs."""
+    rng = np.random.default_rng(seed)
+    parent = np.arange(n, dtype=np.int64)
+    for v in range(1, n):
+        if rng.random() < 0.8:
+            parent[v] = rng.integers(0, v)
+    return parent
+
+
+class TestFindMany:
+    def test_identity_on_roots(self):
+        parent = np.arange(10, dtype=np.int64)
+        roots, loads = find_many(parent, np.arange(10))
+        assert np.array_equal(roots, np.arange(10))
+        assert loads == 10  # one load per lane
+
+    def test_matches_scalar_finds(self):
+        parent = _random_forest(50, 1)
+        d = DisjointSet(50)
+        d.parent = parent.copy()
+        roots, _ = find_many(parent, np.arange(50))
+        assert all(roots[i] == d.find(i) for i in range(50))
+
+    def test_does_not_mutate(self):
+        parent = _random_forest(30, 2)
+        before = parent.copy()
+        find_many(parent, np.arange(30))
+        assert np.array_equal(parent, before)
+
+    def test_load_count_is_path_lengths(self):
+        # Chain 3 -> 2 -> 1 -> 0: find(3) loads parent 4 times
+        # (3,2,1,0), find(0) loads once.
+        parent = np.array([0, 0, 1, 2], dtype=np.int64)
+        _, loads = find_many(parent, np.array([3]))
+        assert loads == 4
+        _, loads = find_many(parent, np.array([0]))
+        assert loads == 1
+
+    def test_empty(self):
+        parent = np.arange(5, dtype=np.int64)
+        roots, loads = find_many(parent, np.empty(0, dtype=np.int64))
+        assert roots.size == 0 and loads == 0
+
+    def test_duplicates_allowed(self):
+        parent = np.array([0, 0, 1], dtype=np.int64)
+        roots, _ = find_many(parent, np.array([2, 2, 2]))
+        assert roots.tolist() == [0, 0, 0]
+
+
+class TestHalvingMany:
+    def test_roots_unchanged_by_halving(self):
+        parent = _random_forest(60, 3)
+        expected, _ = find_many(parent.copy(), np.arange(60))
+        roots, loads, writes = compress_halving_many(parent, np.arange(60))
+        assert np.array_equal(roots, expected)
+
+    def test_halving_compresses(self):
+        parent = np.array([0, 0, 1, 2, 3, 4], dtype=np.int64)
+        _, _, writes = compress_halving_many(parent, np.array([5]))
+        assert writes > 0
+        # Second traversal must be cheaper than the first.
+        _, loads2, _ = compress_halving_many(parent, np.array([5]))
+        assert loads2 <= 5
+
+    def test_counts_zero_on_empty(self):
+        parent = np.arange(4, dtype=np.int64)
+        roots, loads, writes = compress_halving_many(
+            parent, np.empty(0, dtype=np.int64)
+        )
+        assert roots.size == 0 and loads == 0 and writes == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 120))
+def test_property_halving_preserves_partition(seed, n):
+    parent = _random_forest(n, seed)
+    expected, _ = find_many(parent.copy(), np.arange(n))
+    work = parent.copy()
+    roots, _, _ = compress_halving_many(work, np.arange(n))
+    assert np.array_equal(roots, expected)
+    # Post-compression finds still agree.
+    after, _ = find_many(work, np.arange(n))
+    assert np.array_equal(after, expected)

@@ -1,0 +1,36 @@
+"""Integration tests: every shipped example must run to completion.
+
+The examples double as end-to-end integration tests of the public API
+(the assertions inside them are real checks, e.g. all-codes-agree and
+clustering purity).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    path = Path(__file__).parent.parent / "examples" / name
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_example_inventory():
+    """The README promises at least these five examples."""
+    assert {
+        "quickstart.py",
+        "power_grid.py",
+        "road_benchmark.py",
+        "clustering.py",
+        "optimization_study.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,114 @@
+"""Experiment registry and CLI tests (tiny scales for speed)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    exp_deopt,
+    exp_filter_accuracy,
+    exp_kernel_profile,
+    exp_runtime_table,
+    exp_seed_variability,
+    exp_table2,
+    exp_throughput_figure,
+)
+from repro.cli import main
+
+SCALE = 0.06
+
+
+class TestExperiments:
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "profile",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_table2(self):
+        out = exp_table2(SCALE)
+        assert "kron_g500-logn21" in out
+        assert out.count("\n") >= 17
+
+    def test_runtime_table_system2(self):
+        out = exp_runtime_table(2, SCALE)
+        assert "cuGraph GPU" in out
+        assert "MST GeoMean" in out
+
+    def test_runtime_table_system1_omits_cugraph(self):
+        out = exp_runtime_table(1, SCALE)
+        assert "cuGraph" not in out
+        assert "Titan V" in out
+
+    def test_throughput_figure(self):
+        out = exp_throughput_figure(2, SCALE)
+        assert "millions of edges per second" in out
+
+    def test_deopt_table(self):
+        out = exp_deopt(SCALE)
+        assert "No Impl. Path Compr." in out
+        assert "Vertex-Centric" in out
+
+    def test_deopt_figure(self):
+        out = exp_deopt(SCALE, as_figure=True)
+        assert out.startswith("input,ECL-MST")
+
+    def test_seed_variability(self):
+        out = exp_seed_variability(SCALE, seeds=3)
+        assert "relative_spread" in out
+
+    def test_filter_accuracy(self):
+        out = exp_filter_accuracy(SCALE)
+        assert "relative_distance_pct" in out
+
+    def test_kernel_profile(self):
+        out = exp_kernel_profile(SCALE)
+        header, first = out.splitlines()[:2]
+        assert header.startswith("input,init_pct")
+        cols = first.split(",")
+        pcts = [float(x) for x in cols[1:5]]
+        assert all(0.0 <= p < 100.0 for p in pcts)
+        assert int(cols[5]) >= 1  # at least one k1 launch
+        assert int(cols[6]) >= 1  # at least one round
+
+    def test_kernel_profile_shape_at_scale(self):
+        """Section 5.1: at realistic sizes the init kernel dominates
+        (~40%) and kernel 1 is next (~35%)."""
+        out = exp_kernel_profile(1.0)
+        for line in out.splitlines()[1:]:
+            cols = line.split(",")
+            init, k1 = float(cols[1]), float(cols[2])
+            if cols[0] in ("coPapersDBLP", "r4-2e23.sym"):
+                assert init > 15.0, line
+                assert k1 > 10.0, line
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "fig7" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2", "--scale", str(SCALE)]) == 0
+        assert "Graph Name" in capsys.readouterr().out
+
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7", "--scale", str(SCALE)]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_fig6_seed_flag(self, capsys):
+        assert main(["fig6", "--scale", str(SCALE), "--seeds", "2"]) == 0
+        assert "median" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Sampling-based filtering tests (Section 3.2 / 5.4 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EclMstConfig
+from repro.core.filtering import plan_filtering, threshold_accuracy
+from repro.generators import grid2d, preferential_attachment, road_network
+
+
+class TestActivation:
+    def test_no_filter_below_average_degree_4(self):
+        # Road maps (d-avg < 4): "no filtering occurs for graphs with
+        # an average degree below 4".
+        g = road_network(500, target_avg_degree=2.5, seed=0)
+        plan = plan_filtering(g, EclMstConfig())
+        assert not plan.active
+
+    def test_grid_boundary(self):
+        # 2d grids have d-avg just under 4 (border vertices).
+        g = grid2d(20, seed=0)
+        plan = plan_filtering(g, EclMstConfig())
+        assert not plan.active
+
+    def test_filter_active_on_dense(self):
+        g = preferential_attachment(500, 8, seed=0)
+        plan = plan_filtering(g, EclMstConfig())
+        assert plan.active
+        assert plan.threshold > 0
+        assert len(plan.samples) == 20
+
+    def test_disabled_by_config(self):
+        g = preferential_attachment(500, 8, seed=0)
+        plan = plan_filtering(g, EclMstConfig(filtering=False))
+        assert not plan.active
+
+    def test_empty_graph(self):
+        from repro.graph.build import empty_graph
+
+        plan = plan_filtering(empty_graph(10), EclMstConfig())
+        assert not plan.active
+
+
+class TestThresholdQuality:
+    def test_threshold_is_a_sampled_weight(self):
+        g = preferential_attachment(500, 8, seed=1)
+        plan = plan_filtering(g, EclMstConfig(seed=3))
+        assert plan.threshold in plan.samples
+
+    def test_deterministic_per_seed(self):
+        g = preferential_attachment(500, 8, seed=1)
+        a = plan_filtering(g, EclMstConfig(seed=5))
+        b = plan_filtering(g, EclMstConfig(seed=5))
+        assert a.threshold == b.threshold
+
+    def test_seeds_vary_threshold(self):
+        g = preferential_attachment(2000, 8, seed=1)
+        thresholds = {
+            plan_filtering(g, EclMstConfig(seed=s)).threshold for s in range(25)
+        }
+        assert len(thresholds) > 3
+
+    def test_threshold_tracks_target_quantile(self):
+        # With many samples the estimate should be near the true
+        # c|V|-lightest bound.
+        g = preferential_attachment(3000, 10, seed=2)
+        cfg = EclMstConfig(filter_samples=4000, seed=0)
+        plan = plan_filtering(g, cfg)
+        w = np.sort(g.weights.astype(np.int64))
+        true_bound = w[min(w.size - 1, int(cfg.filter_c * g.num_vertices))]
+        assert 0.7 * true_bound < plan.threshold < 1.4 * true_bound
+
+
+class TestAccuracyMetric:
+    def test_none_when_inactive(self):
+        g = road_network(300, seed=0)
+        plan = plan_filtering(g, EclMstConfig())
+        assert threshold_accuracy(g, plan) is None
+
+    def test_zero_means_exact(self):
+        # Construct a plan whose threshold admits exactly 3|V| slots.
+        g = preferential_attachment(400, 8, seed=3)
+        w = np.sort(g.weights.astype(np.int64))
+        target_slots = 3 * g.num_vertices
+        from repro.core.filtering import FilterPlan
+
+        plan = FilterPlan(threshold=int(w[target_slots]))
+        acc = threshold_accuracy(g, plan, target_factor=3.0)
+        assert abs(acc) < 0.05
+
+    def test_paper_style_spread(self):
+        # "the random selection rarely chooses an edge weight that
+        # yields more than double or less than half" the target.
+        g = preferential_attachment(4000, 10, seed=4)
+        cfg = EclMstConfig()
+        within = 0
+        for seed in range(30):
+            plan = plan_filtering(g, cfg.with_(seed=seed))
+            acc = threshold_accuracy(g, plan, target_factor=4.0)
+            if -0.5 <= acc <= 1.0:
+                within += 1
+        assert within >= 24  # ~80%+ inside the half/double band

@@ -1,0 +1,107 @@
+"""Additional gpusim coverage: counters aggregation, spec arithmetic,
+and the CpuMachine phase ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.costmodel import CpuMachine, Device
+from repro.gpusim.counters import KernelCounters, RunCounters
+from repro.gpusim.spec import (
+    PCIE_BANDWIDTH_GBS,
+    RTX_3080_TI,
+    THREADRIPPER_2950X,
+    TITAN_V,
+    XEON_GOLD_6226R_X2,
+)
+
+
+class TestRunCountersAggregation:
+    def _filled(self):
+        rc = RunCounters()
+        rc.add(KernelCounters("a", items=10, cycles=100, bytes=1000, atomics=5))
+        rc.add(KernelCounters("b", items=20, cycles=200, bytes=2000, atomics=7))
+        rc.add(KernelCounters("a", items=30, cycles=300, bytes=3000))
+        return rc
+
+    def test_totals(self):
+        rc = self._filled()
+        assert rc.total("items") == 60
+        assert rc.total("cycles") == 600
+        assert rc.total("bytes") == 6000
+        assert rc.total("atomics") == 12
+
+    def test_launches_of(self):
+        rc = self._filled()
+        assert rc.launches_of("a") == 2
+        assert rc.launches_of("b") == 1
+        assert rc.launches_of("zzz") == 0
+
+    def test_order_preserved(self):
+        rc = self._filled()
+        assert [k.name for k in rc.kernels] == ["a", "b", "a"]
+
+
+class TestSpecArithmetic:
+    def test_compute_rate_scales_with_cores(self):
+        assert (
+            RTX_3080_TI.compute_gcycles_per_s
+            > TITAN_V.compute_gcycles_per_s
+        )
+
+    def test_cpu_serial_rate_ignores_efficiency(self):
+        # One thread runs at full speed; the efficiency penalty is a
+        # multi-threaded phenomenon.
+        one = XEON_GOLD_6226R_X2.compute_gcycles_per_s(1)
+        expected = 1 * XEON_GOLD_6226R_X2.clock_ghz * XEON_GOLD_6226R_X2.ipc
+        assert one == pytest.approx(expected)
+
+    def test_cpu_parallel_rate_above_serial(self):
+        spec = THREADRIPPER_2950X
+        assert spec.compute_gcycles_per_s(spec.cores) > spec.compute_gcycles_per_s(1)
+
+    def test_pcie_slower_than_device_memory(self):
+        for spec in (TITAN_V, RTX_3080_TI):
+            assert PCIE_BANDWIDTH_GBS < spec.effective_bandwidth_gbs
+
+
+class TestCpuMachineLedger:
+    def test_phases_recorded_in_order(self):
+        m = CpuMachine(XEON_GOLD_6226R_X2)
+        m.phase("sort", ops=1e6)
+        m.phase("scan", ops=2e6)
+        assert [k.name for k in m.counters.kernels] == ["sort", "scan"]
+
+    def test_elapsed_is_sum(self):
+        m = CpuMachine(XEON_GOLD_6226R_X2)
+        a = m.phase("a", ops=1e7).modeled_seconds
+        b = m.phase("b", ops=3e7).modeled_seconds
+        assert m.elapsed_seconds == pytest.approx(a + b)
+
+    def test_ops_recorded_as_cycles(self):
+        m = CpuMachine(XEON_GOLD_6226R_X2)
+        m.phase("p", ops=1234.0)
+        assert m.counters.kernels[0].cycles == 1234.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cycles=st.floats(0, 1e12),
+    bytes_=st.floats(0, 1e12),
+    atomics=st.integers(0, 10**9),
+    contention=st.integers(0, 10**6),
+    critical=st.integers(0, 10**6),
+)
+def test_property_kernel_time_monotone(cycles, bytes_, atomics, contention, critical):
+    """More counted work can never make a kernel faster."""
+    from repro.gpusim.costmodel import gpu_kernel_seconds
+
+    base = KernelCounters("k", cycles=cycles, bytes=bytes_, atomics=atomics,
+                          atomic_max_contention=contention, critical_items=critical)
+    bigger = KernelCounters("k", cycles=cycles * 2 + 1, bytes=bytes_ * 2 + 1,
+                            atomics=atomics * 2 + 1,
+                            atomic_max_contention=contention * 2 + 1,
+                            critical_items=critical * 2 + 1)
+    assert gpu_kernel_seconds(RTX_3080_TI, bigger) >= gpu_kernel_seconds(
+        RTX_3080_TI, base
+    )

@@ -1,0 +1,71 @@
+"""IO round-trip and format tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.generators import random_k_out
+from repro.graph.io import load_ecl, load_edge_list, save_ecl, save_edge_list
+
+
+class TestEclBinary:
+    def test_roundtrip_identical(self, tmp_path, medium_graph):
+        path = tmp_path / "g.ecl"
+        save_ecl(medium_graph, path)
+        back = load_ecl(path)
+        assert back.num_vertices == medium_graph.num_vertices
+        assert np.array_equal(back.row_ptr, medium_graph.row_ptr)
+        assert np.array_equal(back.col_idx, medium_graph.col_idx)
+        assert np.array_equal(back.weights, medium_graph.weights)
+        assert np.array_equal(back.edge_ids, medium_graph.edge_ids)
+
+    def test_name_from_stem(self, tmp_path, triangle):
+        path = tmp_path / "mygraph.ecl"
+        save_ecl(triangle, path)
+        assert load_ecl(path).name == "mygraph"
+
+    def test_explicit_name(self, tmp_path, triangle):
+        path = tmp_path / "x.ecl"
+        save_ecl(triangle, path)
+        assert load_ecl(path, name="other").name == "other"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.ecl"
+        path.write_bytes(b"NOTAGRAPH")
+        with pytest.raises(ValueError, match="not an ECL graph"):
+            load_ecl(path)
+
+    def test_mst_weight_survives_roundtrip(self, tmp_path):
+        from repro.core.verify import reference_mst_mask
+
+        g = random_k_out(150, 3, seed=9)
+        path = tmp_path / "r.ecl"
+        save_ecl(g, path)
+        back = load_ecl(path)
+        assert np.array_equal(
+            reference_mst_mask(g), reference_mst_mask(back)
+        )
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        save_edge_list(triangle, path)
+        back = load_edge_list(path)
+        assert back.num_edges == triangle.num_edges
+        assert np.array_equal(back.weights, triangle.weights)
+
+    def test_comments_and_blank_lines(self):
+        text = io.StringIO("# comment\n\n0 1 5\n1 2 6\n")
+        g = load_edge_list(text)
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_missing_weight_defaults_to_one(self):
+        g = load_edge_list(io.StringIO("0 1\n"))
+        assert g.weights.tolist() == [1, 1]
+
+    def test_explicit_num_vertices(self):
+        g = load_edge_list(io.StringIO("0 1 2\n"), num_vertices=10)
+        assert g.num_vertices == 10

@@ -1,0 +1,151 @@
+"""Unit tests for the individual ECL-MST kernels (below the driver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EclMstConfig
+from repro.core.kernels import (
+    MstState,
+    kernel1_reserve,
+    kernel2_union,
+    kernel3_reset,
+    kernel_init_populate,
+)
+from repro.gpusim.atomics import KEY_INFINITY, unpack_edge_id
+from repro.gpusim.costmodel import Device
+from repro.gpusim.spec import RTX_3080_TI
+
+from helpers import make_graph
+
+
+def _state(graph, **cfg_kw):
+    cfg = EclMstConfig(**cfg_kw) if cfg_kw else EclMstConfig()
+    return MstState.create(graph, cfg, Device(RTX_3080_TI))
+
+
+class TestInitPopulate:
+    def test_single_direction_counts(self, paper_figure1):
+        state = _state(paper_figure1)
+        appended = kernel_init_populate(state, None, phase=0)
+        assert appended == paper_figure1.num_edges  # one slot per edge
+
+    def test_both_directions_counts(self, paper_figure1):
+        state = _state(paper_figure1, single_direction=False)
+        appended = kernel_init_populate(state, None, phase=0)
+        assert appended == paper_figure1.num_directed_edges
+
+    def test_phase1_threshold_filters(self, paper_figure1):
+        state = _state(paper_figure1)
+        appended = kernel_init_populate(state, threshold=3, phase=1)
+        # Weights 1, 2 are strictly under 3 -> two entries.
+        assert appended == 2
+        assert sorted(state.wl.front.w.tolist()) == [1, 2]
+
+    def test_phase2_inverts_threshold(self, paper_figure1):
+        state = _state(paper_figure1)
+        appended = kernel_init_populate(state, threshold=3, phase=2)
+        assert appended == 3  # weights 3, 4, 5
+
+    def test_phase2_drops_internal_edges(self, triangle):
+        state = _state(triangle)
+        # Pretend phase 1 already merged everything into one set.
+        state.parent[:] = 0
+        appended = kernel_init_populate(state, threshold=10**9, phase=2)
+        assert appended == 0  # all edges are cycles now
+
+    def test_init_charges_one_launch(self, triangle):
+        state = _state(triangle)
+        kernel_init_populate(state, None, phase=0)
+        assert state.device.counters.launches_of("init") == 1
+
+
+class TestKernel1:
+    def test_reserves_minimum_per_set(self, paper_figure1):
+        state = _state(paper_figure1)
+        kernel_init_populate(state, None, phase=0)
+        survivors = kernel1_reserve(state)
+        assert survivors == paper_figure1.num_edges  # nothing merged yet
+        # Vertex A(0) touches edges (0,1,w4) and (0,2,w1): min key is
+        # the weight-1 edge.
+        assert int(unpack_edge_id([state.min_edge[0]])[0]) >= 0
+        from repro.gpusim.atomics import unpack_weight
+
+        assert int(unpack_weight([state.min_edge[0]])[0]) == 1
+
+    def test_discards_internal_edges(self, triangle):
+        state = _state(triangle)
+        kernel_init_populate(state, None, phase=0)
+        state.parent[:] = 0  # everything one set already
+        survivors = kernel1_reserve(state)
+        assert survivors == 0
+
+    def test_appends_survivors_to_back_buffer(self, triangle):
+        state = _state(triangle)
+        kernel_init_populate(state, None, phase=0)
+        kernel1_reserve(state)
+        state.wl.swap()
+        assert len(state.wl.front) == 3
+
+    def test_topology_mode_appends_nothing(self, triangle):
+        state = _state(triangle, data_driven=False)
+        kernel_init_populate(state, None, phase=0)
+        kernel1_reserve(state)
+        saved = state.wl.front
+        state.wl.swap()
+        assert len(state.wl.front) == 0
+        state.wl.front = saved  # driver restores it in topology mode
+
+
+class TestKernel2And3:
+    def _one_round(self, graph, **cfg_kw):
+        state = _state(graph, **cfg_kw)
+        kernel_init_populate(state, None, phase=0)
+        kernel1_reserve(state)
+        state.wl.swap()
+        return state
+
+    def test_winners_marked_and_unioned(self, paper_figure1):
+        state = self._one_round(paper_figure1)
+        added = kernel2_union(state)
+        # Round 1 of Figure 2's narration: at least 2 edges commit.
+        assert added >= 2
+        assert state.in_mst.sum() == added
+        # Sets merged: fewer roots than vertices.
+        roots = (state.parent == np.arange(5)).sum()
+        assert roots == 5 - added
+
+    def test_reset_clears_touched_slots(self, paper_figure1):
+        state = self._one_round(paper_figure1)
+        kernel2_union(state)
+        kernel3_reset(state)
+        assert np.all(state.min_edge == KEY_INFINITY)
+
+    def test_empty_worklist_is_noop(self, triangle):
+        state = _state(triangle)
+        assert kernel2_union(state) == 0
+        kernel3_reset(state)  # must not raise
+        assert state.device.counters.launches_of("k3_reset") == 0
+
+    def test_mirrored_duplicates_commit_once(self, triangle):
+        state = self._one_round(triangle, single_direction=False)
+        added = kernel2_union(state)
+        # Both directions are in the worklist but each edge counts once.
+        assert added == int(state.in_mst.sum())
+
+
+class TestFindEntries:
+    def test_implicit_mode_readonly(self, path_graph):
+        state = _state(path_graph)
+        state.parent[5] = 4
+        before = state.parent.copy()
+        roots, loads, writes = state.find_entries(np.array([5]))
+        assert roots[0] == 4 and writes == 0
+        assert np.array_equal(state.parent, before)
+
+    def test_explicit_mode_halves_paths(self, path_graph):
+        state = _state(path_graph, implicit_path_compression=False)
+        for i in range(1, 6):
+            state.parent[i] = i - 1
+        roots, loads, writes = state.find_entries(np.array([5]))
+        assert roots[0] == 0
+        assert writes > 0  # halving rewrote part of the chain

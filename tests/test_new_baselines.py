@@ -1,0 +1,108 @@
+"""Tests for the extension baselines: Setia parallel Prim and
+ECL-MST-CPU (the independent second implementation)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import ecl_mst_cpu, setia_prim_mst
+from repro.core.config import EclMstConfig
+from repro.core.eclmst import ecl_mst
+from repro.core.verify import reference_mst_mask
+from repro.generators import suite
+from repro.graph.build import build_csr
+
+
+@pytest.mark.parametrize(
+    "runner", [setia_prim_mst, ecl_mst_cpu], ids=lambda f: f.__name__
+)
+class TestCorrectness:
+    def test_matches_reference(self, runner, medium_graph):
+        r = runner(medium_graph)
+        assert np.array_equal(r.in_mst, reference_mst_mask(medium_graph))
+
+    def test_msf(self, runner, two_components):
+        r = runner(two_components)
+        assert r.num_mst_edges == 4
+        assert r.total_weight == 1 + 2 + 4 + 5
+
+    def test_empty(self, runner):
+        from repro.graph.build import empty_graph
+
+        r = runner(empty_graph(4))
+        assert r.num_mst_edges == 0
+
+    def test_star(self, runner, star_graph):
+        r = runner(star_graph)
+        assert r.num_mst_edges == 20
+
+
+class TestSetiaSpecifics:
+    def test_merge_count_bounded(self, medium_graph):
+        r = setia_prim_mst(medium_graph, threads=8)
+        # At most threads-1 merges among the initial trees, plus later
+        # spawns; never more than trees spawned.
+        assert 0 <= r.extra["merges"] < medium_graph.num_vertices
+
+    def test_seed_changes_starts_not_result(self, medium_graph):
+        ref = reference_mst_mask(medium_graph)
+        for seed in range(4):
+            r = setia_prim_mst(medium_graph, seed=seed)
+            assert np.array_equal(r.in_mst, ref)
+
+    def test_single_thread_degenerates_to_prim(self, paper_figure1):
+        r = setia_prim_mst(paper_figure1, threads=1)
+        assert r.extra["threads"] == 1
+        assert r.total_weight == 1 + 2 + 3 + 4
+
+    def test_merge_cost_charged(self, medium_graph):
+        r = setia_prim_mst(medium_graph, threads=16)
+        names = {k.name for k in r.counters.kernels}
+        assert "tree_merges" in names
+
+
+class TestEclCpuSpecifics:
+    def test_agrees_with_gpu_version_exactly(self, medium_graph):
+        gpu = ecl_mst(medium_graph)
+        cpu = ecl_mst_cpu(medium_graph)
+        assert np.array_equal(gpu.in_mst, cpu.in_mst)
+
+    def test_filtering_respected(self):
+        g = suite.build("coPapersDBLP", scale=0.1)
+        r = ecl_mst_cpu(g, EclMstConfig())
+        assert r.extra["filter_plan"].active
+        r2 = ecl_mst_cpu(g, EclMstConfig(filtering=False))
+        assert not r2.extra["filter_plan"].active
+        assert np.array_equal(r.in_mst, r2.in_mst)
+
+    def test_round_structure_similar_to_gpu(self, medium_graph):
+        gpu = ecl_mst(medium_graph)
+        cpu = ecl_mst_cpu(medium_graph)
+        assert abs(gpu.rounds - cpu.rounds) <= 2
+
+    def test_slower_than_gpu_model(self):
+        g = suite.build("r4-2e23.sym", scale=0.5)
+        assert ecl_mst_cpu(g).modeled_seconds > ecl_mst(g).modeled_seconds
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(2, 30),
+    m=st.integers(0, 80),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_new_baselines_match(n, m, seed):
+    rng = np.random.default_rng(seed)
+    g = build_csr(
+        n,
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, 1000, m),
+    )
+    ref = reference_mst_mask(g)
+    assert np.array_equal(setia_prim_mst(g).in_mst, ref)
+    assert np.array_equal(ecl_mst_cpu(g).in_mst, ref)

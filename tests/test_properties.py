@@ -1,0 +1,73 @@
+"""Connected components and Table-2 row computation tests."""
+
+import numpy as np
+
+from repro.graph.build import build_csr, empty_graph
+from repro.graph.properties import (
+    average_degree,
+    connected_components,
+    graph_info,
+)
+
+from helpers import make_graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        count, labels = connected_components(triangle)
+        assert count == 1
+        assert np.unique(labels).size == 1
+
+    def test_two_components(self, two_components):
+        count, labels = connected_components(two_components)
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices_counted(self):
+        g = make_graph(5, [(0, 1, 1)])
+        count, _ = connected_components(g)
+        assert count == 4  # {0,1} plus three singletons
+
+    def test_edgeless_graph(self):
+        count, labels = connected_components(empty_graph(7))
+        assert count == 7
+        assert np.array_equal(np.sort(np.unique(labels)), np.arange(7))
+
+    def test_path_is_connected(self, path_graph):
+        count, _ = connected_components(path_graph)
+        assert count == 1
+
+    def test_matches_networkx(self, medium_graph):
+        import networkx as nx
+
+        u, v, _, _ = medium_graph.undirected_edges()
+        G = nx.Graph()
+        G.add_nodes_from(range(medium_graph.num_vertices))
+        G.add_edges_from(zip(u.tolist(), v.tolist()))
+        count, _ = connected_components(medium_graph)
+        assert count == nx.number_connected_components(G)
+
+
+class TestGraphInfo:
+    def test_triangle_row(self, triangle):
+        info = graph_info(triangle, "test")
+        assert info.num_vertices == 3
+        assert info.num_edges == 6  # directed slots, per Table 2 convention
+        assert info.num_components == 1
+        assert info.avg_degree == 2.0
+        assert info.max_degree == 2
+
+    def test_star_max_degree(self, star_graph):
+        info = graph_info(star_graph)
+        assert info.max_degree == 20
+
+    def test_average_degree_empty(self):
+        assert average_degree(empty_graph(0)) == 0.0
+
+    def test_row_tuple_shape(self, triangle):
+        row = graph_info(triangle, "grid").row()
+        assert row[0] == "triangle"
+        assert row[3] == "grid"
+        assert len(row) == 7

@@ -1,0 +1,47 @@
+"""MstResult helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.eclmst import ecl_mst
+from repro.gpusim.counters import RunCounters
+from repro.core.result import MstResult
+
+
+class TestHelpers:
+    def test_with_memcpy_sums(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        assert r.modeled_seconds_with_memcpy == pytest.approx(
+            r.modeled_seconds + r.memcpy_seconds
+        )
+
+    def test_throughput_with_memcpy_lower(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        assert r.throughput_meps(include_memcpy=True) < r.throughput_meps()
+
+    def test_edges_sorted_by_id_order(self, paper_figure1):
+        r = ecl_mst(paper_figure1)
+        u, v, w = r.edges()
+        assert np.all(u < v)
+        assert sorted(w.tolist()) == [1, 2, 3, 4]
+
+    def test_repr_mentions_algorithm_and_weight(self, triangle):
+        r = ecl_mst(triangle)
+        text = repr(r)
+        assert "ecl-mst" in text and str(r.total_weight) in text
+
+    def test_zero_time_throughput_infinite(self, triangle):
+        r = MstResult(
+            graph=triangle,
+            in_mst=np.zeros(3, dtype=bool),
+            total_weight=0,
+            num_mst_edges=0,
+            rounds=0,
+            modeled_seconds=0.0,
+            counters=RunCounters(),
+        )
+        assert r.throughput_meps() == float("inf")
+
+    def test_extra_contains_config_and_plan(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        assert "config" in r.extra and "filter_plan" in r.extra

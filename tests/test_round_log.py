@@ -1,0 +1,52 @@
+"""Per-round diagnostics (MstResult.extra['round_log']) tests."""
+
+import numpy as np
+
+from repro.core.config import EclMstConfig
+from repro.core.eclmst import ecl_mst
+from repro.graph.properties import connected_components
+
+
+class TestRoundLog:
+    def test_log_length_matches_rounds(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        assert len(r.extra["round_log"]) == r.rounds
+
+    def test_total_added_equals_msf_size(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        added = sum(e["added"] for e in r.extra["round_log"])
+        assert added == r.num_mst_edges
+
+    def test_entries_shrink_within_phase(self, medium_graph):
+        # Survivors of round i become (a superset of) round i+1's
+        # entries; within one phase the worklist never grows.
+        r = ecl_mst(medium_graph, EclMstConfig(filtering=False))
+        log = r.extra["round_log"]
+        for prev, cur in zip(log, log[1:]):
+            assert cur["entries"] == prev["survivors"]
+            assert cur["entries"] <= prev["entries"]
+
+    def test_last_round_empty_survivors(self, medium_graph):
+        r = ecl_mst(medium_graph, EclMstConfig(filtering=False))
+        assert r.extra["round_log"][-1]["survivors"] == 0
+
+    def test_first_round_entries_counts_edges(self, medium_graph):
+        r = ecl_mst(medium_graph, EclMstConfig(filtering=False))
+        assert r.extra["round_log"][0]["entries"] == medium_graph.num_edges
+
+    def test_geometric_decay(self, medium_graph):
+        """The paper: parallelization works because each round either
+        commits or discards many edges — entries decay fast, bounding
+        rounds at O(log |V|)."""
+        r = ecl_mst(medium_graph, EclMstConfig(filtering=False))
+        log = r.extra["round_log"]
+        n_cc, _ = connected_components(medium_graph)
+        needed = medium_graph.num_vertices - n_cc
+        # At least half the needed edges commit within the first
+        # ceil(log2) rounds on all our generator families.
+        half_point = sum(e["added"] for e in log[: max(1, len(log) // 2 + 1)])
+        assert half_point >= needed // 2
+
+    def test_topology_mode_has_no_log(self, medium_graph):
+        r = ecl_mst(medium_graph, EclMstConfig(data_driven=False))
+        assert r.extra["round_log"] == []

@@ -1,0 +1,130 @@
+"""Renderer tests for the paper's tables and figures."""
+
+import pytest
+
+from repro.bench.figures import (
+    BoxStats,
+    ascii_bar_chart,
+    filter_accuracy_series,
+    render_filter_accuracy_figure,
+    render_seed_figure,
+    render_throughput_figure,
+    seed_sweep,
+    throughput_series,
+)
+from repro.bench.harness import SYSTEM2, run_grid
+from repro.bench.tables import (
+    format_seconds,
+    render_deopt_table,
+    render_runtime_table,
+    render_table2,
+)
+from repro.generators import suite
+
+
+@pytest.fixture(scope="module")
+def grid():
+    graphs = {
+        name: suite.build(name, scale=0.06)
+        for name in ("USA-road-d.NY", "rmat16.sym")
+    }
+    return run_grid(("ECL-MST", "Jucele GPU", "PBBS Ser."), graphs, SYSTEM2)
+
+
+class TestFormat:
+    def test_seconds(self):
+        assert format_seconds(0.01234) == "0.0123"
+        assert format_seconds(None) == "NC"
+
+
+class TestTable2:
+    def test_contains_all_columns(self):
+        graphs = {"internet": suite.build("internet", scale=0.1)}
+        out = render_table2(graphs)
+        for col in ("Graph Name", "Edges", "Vertices", "CCs", "d-avg", "d-max"):
+            assert col in out
+        assert "internet" in out
+
+
+class TestRuntimeTable:
+    def test_structure(self, grid):
+        out = render_runtime_table(grid, ("ECL-MST", "Jucele GPU", "PBBS Ser."))
+        assert "ECL-MST memcpy" in out
+        assert "MSF GeoMean" in out and "MST GeoMean" in out
+        assert "NC" in out  # Jucele on rmat16
+        assert "USA-road-d.NY" in out
+
+    def test_memcpy_column_larger(self, grid):
+        cell = grid.cell("ECL-MST", "USA-road-d.NY")
+        out = render_runtime_table(grid, ("ECL-MST",))
+        row = next(l for l in out.splitlines() if l.startswith("USA-road-d.NY"))
+        plain, memcpy = (float(x) for x in row.split()[1:3])
+        assert memcpy > plain
+
+    def test_no_memcpy_column_option(self, grid):
+        out = render_runtime_table(
+            grid, ("ECL-MST",), include_memcpy_column=False
+        )
+        assert "memcpy" not in out
+
+
+class TestDeoptTable:
+    def test_rendering(self):
+        stages = ("A", "B")
+        times = {("A", "g1"): 0.1, ("B", "g1"): 0.2, ("A", "g2"): 0.3, ("B", "g2"): 0.4}
+        out = render_deopt_table(stages, times, ("g1", "g2"))
+        assert "MST GeoMean" in out
+        assert "0.1000" in out
+
+
+class TestFigures:
+    def test_throughput_series(self, grid):
+        series = throughput_series(grid, ("ECL-MST", "Jucele GPU"))
+        assert series["ECL-MST"]["USA-road-d.NY"] > 0
+        assert series["Jucele GPU"]["rmat16.sym"] is None
+
+    def test_ascii_chart(self):
+        out = ascii_bar_chart({"a": 10.0, "b": 5.0, "c": None})
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "NC" in lines[2]
+
+    def test_render_throughput_figure(self, grid):
+        out = render_throughput_figure(grid, ("ECL-MST",), title="T")
+        assert out.startswith("T")
+        assert "input,ECL-MST" in out
+
+    def test_box_stats(self):
+        s = BoxStats.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.minimum == 1 and s.maximum == 5 and s.median == 3
+        assert s.q1 == 2 and s.q3 == 4
+        assert s.relative_spread == pytest.approx(4 / 3)
+
+    def test_box_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_values([])
+
+    def test_seed_sweep(self):
+        g = suite.build("coPapersDBLP", scale=0.08)
+        stats, median_seed = seed_sweep(g, seeds=7)
+        assert 0 <= median_seed < 7
+        assert stats.minimum <= stats.median <= stats.maximum
+
+    def test_render_seed_figure(self):
+        out = render_seed_figure(
+            {"g": BoxStats(1.0, 2.0, 3.0, 4.0, 5.0)}
+        )
+        assert "relative_spread" in out and "g," in out
+
+    def test_filter_accuracy_only_filtered_inputs(self):
+        graphs = {
+            "coPapersDBLP": suite.build("coPapersDBLP", scale=0.08),
+            "USA-road-d.NY": suite.build("USA-road-d.NY", scale=0.08),
+        }
+        series = filter_accuracy_series(graphs)
+        assert "coPapersDBLP" in series
+        assert "USA-road-d.NY" not in series  # d-avg < 4, no filtering
+
+    def test_render_filter_accuracy(self):
+        out = render_filter_accuracy_figure({"g": 0.25, "h": -0.4})
+        assert "+25.0%" in out and "-40.0%" in out

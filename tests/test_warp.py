@@ -1,0 +1,81 @@
+"""Warp scheduling-model tests (exact expected cycle counts)."""
+
+import numpy as np
+
+from repro.gpusim.warp import (
+    HYBRID_DEGREE_THRESHOLD,
+    edge_centric_cycles,
+    hybrid_cycles,
+    thread_mode_cycles,
+)
+
+
+class TestThreadMode:
+    def test_uniform_work(self):
+        # 32 threads each doing 3 items: one warp busy 3 steps.
+        work = np.full(32, 3)
+        assert thread_mode_cycles(work, 1.0) == 32 * 3
+
+    def test_imbalance_charged_at_warp_max(self):
+        work = np.zeros(32)
+        work[0] = 10  # one busy lane stalls the whole warp
+        assert thread_mode_cycles(work, 1.0) == 32 * 10
+
+    def test_multiple_warps_sum(self):
+        work = np.concatenate([np.full(32, 2), np.full(32, 5)])
+        assert thread_mode_cycles(work, 1.0) == 32 * 2 + 32 * 5
+
+    def test_partial_warp_padded(self):
+        work = np.full(16, 4)  # padded to one warp of 32 lanes
+        assert thread_mode_cycles(work, 1.0) == 32 * 4
+
+    def test_per_item_scaling(self):
+        work = np.full(32, 2)
+        assert thread_mode_cycles(work, 2.5) == 32 * 2 * 2.5
+
+    def test_empty(self):
+        assert thread_mode_cycles(np.empty(0), 1.0) == 0.0
+
+
+class TestHybrid:
+    def test_low_degree_same_as_thread_mode(self):
+        work = np.full(64, HYBRID_DEGREE_THRESHOLD - 1)
+        assert hybrid_cycles(work, 1.0) == thread_mode_cycles(work, 1.0)
+
+    def test_high_degree_vertex_gets_warp(self):
+        work = np.array([100.0])
+        # ceil(100/32)*32 = 128 lane-cycles + coordination constant.
+        cycles = hybrid_cycles(work, 1.0)
+        assert 128 <= cycles <= 128 + 10
+
+    def test_hybrid_beats_thread_mode_on_skew(self):
+        # A hub among idle lanes: hybrid splits the hub across a warp.
+        work = np.zeros(32)
+        work[0] = 1000
+        assert hybrid_cycles(work, 1.0) < thread_mode_cycles(work, 1.0)
+
+    def test_mixed_population(self):
+        work = np.array([1.0, 2.0, 50.0, 3.0])
+        low = np.array([1.0, 2.0, 3.0])
+        expected_low = thread_mode_cycles(low, 1.0)
+        assert hybrid_cycles(work, 1.0) > expected_low
+
+    def test_empty(self):
+        assert hybrid_cycles(np.empty(0), 1.0) == 0.0
+
+
+class TestEdgeCentric:
+    def test_exact_multiple(self):
+        assert edge_centric_cycles(64, 1.0) == 64
+
+    def test_rounds_up_to_warp(self):
+        assert edge_centric_cycles(33, 1.0) == 64
+
+    def test_zero(self):
+        assert edge_centric_cycles(0, 1.0) == 0.0
+
+    def test_uniformity_beats_thread_mode(self):
+        # Same total work, but balanced: edge-centric is never worse.
+        work = np.zeros(32)
+        work[0] = 320
+        assert edge_centric_cycles(320, 1.0) <= thread_mode_cycles(work, 1.0)

@@ -1,0 +1,124 @@
+"""Hash-weight determinism and distribution tests."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.graph.weights import MAX_WEIGHT, hash_weight, randomize_weights
+
+
+class TestHashWeight:
+    def test_deterministic(self):
+        a = hash_weight([1, 2, 3], [4, 5, 6])
+        b = hash_weight([1, 2, 3], [4, 5, 6])
+        assert np.array_equal(a, b)
+
+    def test_order_independent_of_array_position(self):
+        a = hash_weight([1, 2], [4, 5])
+        b = hash_weight([2, 1], [5, 4])
+        assert a[0] == b[1] and a[1] == b[0]
+
+    def test_range(self):
+        w = hash_weight(np.arange(10_000), np.arange(10_000) + 1)
+        assert w.min() >= 1
+        assert w.max() <= MAX_WEIGHT
+
+    def test_seed_changes_weights(self):
+        a = hash_weight(np.arange(100), np.arange(100) + 1, seed=0)
+        b = hash_weight(np.arange(100), np.arange(100) + 1, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        w = hash_weight(np.arange(50_000), np.arange(50_000) + 1)
+        # Mean of Uniform[1, MAX] is ~MAX/2; allow 5% slack.
+        assert abs(w.mean() / (MAX_WEIGHT / 2) - 1) < 0.05
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(0, 2**31 - 1),
+        st.integers(0, 1000),
+    )
+    def test_scalar_inputs_in_range(self, lo, hi, seed):
+        w = hash_weight(np.array([lo]), np.array([hi]), seed=seed)
+        assert 1 <= int(w[0]) <= MAX_WEIGHT
+
+
+class TestRandomizeWeights:
+    def test_mirrors_agree(self, medium_graph):
+        g = randomize_weights(medium_graph, seed=42)
+        g.validate()  # validate() checks mirrored slots share weights
+
+    def test_structure_preserved(self, medium_graph):
+        g = randomize_weights(medium_graph, seed=42)
+        assert np.array_equal(g.row_ptr, medium_graph.row_ptr)
+        assert np.array_equal(g.col_idx, medium_graph.col_idx)
+        assert np.array_equal(g.edge_ids, medium_graph.edge_ids)
+
+    def test_original_untouched(self, triangle):
+        before = triangle.weights.copy()
+        randomize_weights(triangle, seed=1)
+        assert np.array_equal(triangle.weights, before)
+
+
+class TestQuantizeWeights:
+    def test_order_preserved(self):
+        import numpy as np
+        from repro.graph.weights import quantize_weights
+
+        rng = np.random.default_rng(0)
+        vals = rng.random(1000) * 100 - 50
+        q = quantize_weights(vals, bits=20)
+        order = np.argsort(vals, kind="stable")
+        assert np.all(np.diff(q[order]) >= 0)
+
+    def test_range(self):
+        from repro.graph.weights import quantize_weights
+
+        q = quantize_weights([0.0, 0.5, 1.0], bits=10)
+        assert q.min() >= 1 and q.max() <= 1 << 10
+
+    def test_constant_weights(self):
+        from repro.graph.weights import quantize_weights
+
+        q = quantize_weights([3.14] * 5)
+        assert set(q.tolist()) == {1}
+
+    def test_empty(self):
+        from repro.graph.weights import quantize_weights
+
+        assert quantize_weights([]).size == 0
+
+    def test_rejects_nan(self):
+        import pytest
+        from repro.graph.weights import quantize_weights
+
+        with pytest.raises(ValueError, match="finite"):
+            quantize_weights([1.0, float("nan")])
+
+    def test_rejects_bad_bits(self):
+        import pytest
+        from repro.graph.weights import quantize_weights
+
+        with pytest.raises(ValueError, match="bits"):
+            quantize_weights([1.0], bits=40)
+
+    def test_clamp_range(self):
+        from repro.graph.weights import quantize_weights
+
+        q = quantize_weights([-10.0, 0.5, 10.0], bits=8, lo=0.0, hi=1.0)
+        assert q[0] == 1 and q[2] == 256
+
+    def test_mst_on_quantized_floats(self):
+        """End to end: float-weighted spatial graph -> quantize -> MSF."""
+        import numpy as np
+        from repro.core.eclmst import ecl_mst
+        from repro.graph.build import build_csr
+        from repro.graph.weights import quantize_weights
+
+        rng = np.random.default_rng(1)
+        pts = rng.random((100, 2))
+        u = rng.integers(0, 100, 400)
+        v = rng.integers(0, 100, 400)
+        d = np.linalg.norm(pts[u] - pts[v], axis=1)
+        g = build_csr(100, u, v, quantize_weights(d, bits=24))
+        r = ecl_mst(g, verify=True)
+        assert r.num_mst_edges > 0

@@ -1,0 +1,69 @@
+"""Double-buffered worklist protocol tests."""
+
+import numpy as np
+
+from repro.core.worklist import EdgeList, Worklist
+
+
+def _entries(k, offset=0):
+    idx = np.arange(k, dtype=np.int64) + offset
+    return EdgeList(idx, idx + 1, idx * 10 + 1, idx)
+
+
+class TestEdgeList:
+    def test_len(self):
+        assert len(_entries(5)) == 5
+        assert len(EdgeList.empty()) == 0
+
+    def test_select(self):
+        e = _entries(6)
+        mask = np.array([True, False, True, False, True, False])
+        sel = e.select(mask)
+        assert len(sel) == 3
+        assert sel.v.tolist() == [0, 2, 4]
+
+
+class TestWorklist:
+    def test_fill_front(self):
+        wl = Worklist()
+        wl.fill_front(_entries(4))
+        assert len(wl) == 4
+        assert wl.appends == 4
+
+    def test_swap_moves_back_to_front(self):
+        wl = Worklist()
+        wl.fill_front(_entries(4))
+        wl.append_back(_entries(2, offset=100))
+        wl.append_back(_entries(3, offset=200))
+        wl.swap()
+        assert len(wl) == 5
+        assert wl.front.v.tolist() == [100, 101, 200, 201, 202]
+
+    def test_swap_with_empty_back(self):
+        wl = Worklist()
+        wl.fill_front(_entries(4))
+        wl.swap()
+        assert len(wl) == 0
+
+    def test_append_empty_is_noop(self):
+        wl = Worklist()
+        before = wl.appends
+        wl.append_back(EdgeList.empty())
+        assert wl.appends == before
+
+    def test_appends_count_atomic_adds(self):
+        wl = Worklist()
+        wl.fill_front(_entries(4))
+        wl.append_back(_entries(2))
+        assert wl.appends == 6
+
+    def test_double_buffer_cycles(self):
+        # Emulate three rounds of drain/fill.
+        wl = Worklist()
+        wl.fill_front(_entries(8))
+        for k in (5, 3, 1):
+            wl.append_back(_entries(k))
+            wl.swap()
+            assert len(wl) == k
+        wl.swap()
+        assert len(wl) == 0
