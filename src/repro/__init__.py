@@ -10,7 +10,7 @@ Quickstart::
     print(result.total_weight, result.modeled_seconds)
 """
 
-from . import apps, baselines, bench, core, dsu, generators, gpusim, graph
+from . import apps, baselines, bench, core, dsu, generators, gpusim, graph, obs
 from .core import EclMstConfig, MstResult, ecl_mst, verify_mst
 from .graph import CSRGraph, build_csr
 
@@ -31,5 +31,6 @@ __all__ = [
     "generators",
     "gpusim",
     "graph",
+    "obs",
     "verify_mst",
 ]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gpusim.atomics import KEY_INFINITY, pack_keys, unpack_edge_id
+from ..obs.trace import NULL_TRACER
 
 __all__ = ["BoruvkaRound", "boruvka_round", "propagate_colors"]
 
@@ -62,6 +63,8 @@ def boruvka_round(
     w: np.ndarray,
     eid: np.ndarray,
     comp: np.ndarray,
+    *,
+    tracer=NULL_TRACER,
 ) -> BoruvkaRound:
     """One Borůvka step: every component hooks its minimum incident edge.
 
@@ -70,6 +73,10 @@ def boruvka_round(
     The merge is the classic "hook to the other endpoint's component,
     then pointer-jump until flat" — exactly what color-propagation GPU
     codes do.
+
+    ``tracer`` (optional): the round's measured quantities are attached
+    to the tracer's current (``round``) span, so every Borůvka-family
+    baseline gets per-round observability for free.
     """
     c_src = comp[src]
     c_dst = comp[dst]
@@ -77,14 +84,17 @@ def boruvka_round(
     n_cross = int(np.count_nonzero(cross))
     if n_cross == 0:
         roots = np.unique(comp)
-        return BoruvkaRound(
-            winner_eids=np.empty(0, dtype=np.int64),
-            new_comp=comp,
-            cross_edges=0,
-            prop_iterations=0,
-            flood_iterations=0,
-            atomic_contention=0,
-            num_components=int(roots.size),
+        return _annotated(
+            tracer,
+            BoruvkaRound(
+                winner_eids=np.empty(0, dtype=np.int64),
+                new_comp=comp,
+                cross_edges=0,
+                prop_iterations=0,
+                flood_iterations=0,
+                atomic_contention=0,
+                num_components=int(roots.size),
+            ),
         )
 
     cs, cd = c_src[cross], c_dst[cross]
@@ -134,15 +144,32 @@ def boruvka_round(
 
     new_comp = parent[comp]
     roots = np.unique(new_comp)
-    return BoruvkaRound(
-        winner_eids=winner_eids,
-        new_comp=new_comp,
-        cross_edges=n_cross,
-        prop_iterations=iters,
-        flood_iterations=flood_iterations,
-        atomic_contention=atomic_contention,
-        num_components=int(roots.size),
+    return _annotated(
+        tracer,
+        BoruvkaRound(
+            winner_eids=winner_eids,
+            new_comp=new_comp,
+            cross_edges=n_cross,
+            prop_iterations=iters,
+            flood_iterations=flood_iterations,
+            atomic_contention=atomic_contention,
+            num_components=int(roots.size),
+        ),
     )
+
+
+def _annotated(tracer, rnd: BoruvkaRound) -> BoruvkaRound:
+    """Attach a round's measured quantities to the current span."""
+    if tracer.enabled:
+        tracer.annotate(
+            cross_edges=rnd.cross_edges,
+            winners=int(rnd.winner_eids.size),
+            components=rnd.num_components,
+            prop_iterations=rnd.prop_iterations,
+            flood_iterations=rnd.flood_iterations,
+            atomic_contention=rnd.atomic_contention,
+        )
+    return rnd
 
 
 def graph_flood_iterations(

@@ -19,6 +19,7 @@ from ..graph.csr import CSRGraph
 from ..gpusim.costmodel import Device
 from ..gpusim.spec import GPUSpec, RTX_3080_TI
 from ..gpusim.warp import thread_mode_cycles
+from ..obs.trace import NULL_TRACER
 from ._boruvka_common import boruvka_round, graph_flood_iterations
 
 __all__ = ["cugraph_mst"]
@@ -35,6 +36,7 @@ def cugraph_mst(
     *,
     gpu: GPUSpec = RTX_3080_TI,
     precision: str = "double",
+    tracer=None,
 ) -> MstResult:
     """Compute the MSF with the cuGraph-style strategy.
 
@@ -45,7 +47,8 @@ def cugraph_mst(
         raise ValueError("precision must be 'double' or 'float'")
     weight_bytes = 8.0 if precision == "double" else 4.0
 
-    device = Device(gpu)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    device = Device(gpu, tracer=tracer)
     n = graph.num_vertices
     src = graph.edge_sources().astype(np.int64)
     dst = graph.col_idx.astype(np.int64)
@@ -59,49 +62,65 @@ def cugraph_mst(
     in_mst = np.zeros(graph.num_edges, dtype=bool)
     rounds = 0
 
-    while True:
-        rounds += 1
-        # Topology-driven: the full edge set is scanned every round.
-        rnd = boruvka_round(src, dst, w, eid, comp)
-        in_mst[rnd.winner_eids] = True
+    with tracer.span(
+        f"cugraph on {graph.name}",
+        kind="run",
+        algorithm=f"cugraph-{precision}",
+        graph=graph.name,
+        vertices=n,
+        edges=graph.num_edges,
+    ):
+        while True:
+            rounds += 1
+            with tracer.span(f"round {rounds}", kind="round"):
+                # Topology-driven: the full edge set is scanned every
+                # round.
+                rnd = boruvka_round(src, dst, w, eid, comp, tracer=tracer)
+                in_mst[rnd.winner_eids] = True
 
-        for i in range(_FRAMEWORK_LAUNCH_FACTOR):
-            device.launch(
-                f"min_edge_pass{i}",
-                items=m_slots,
-                cycles=thread_mode_cycles(degrees, _NEIGHBOR_CYCLES / _FRAMEWORK_LAUNCH_FACTOR)
-                + n * _VERTEX_CYCLES / _FRAMEWORK_LAUNCH_FACTOR,
-                bytes_=(20.0 + 2.0 * weight_bytes) * m_slots / _FRAMEWORK_LAUNCH_FACTOR,
-                atomics=(2 * rnd.cross_edges) // _FRAMEWORK_LAUNCH_FACTOR,
-                atomic_max_contention=min(rnd.atomic_contention, dmax),
-                critical_items=dmax // _FRAMEWORK_LAUNCH_FACTOR,
-            )
-        device.launch(
-            "supervertex_merge",
-            items=n,
-            cycles=n * 5.0,
-            bytes_=16.0 * n,
-            atomics=int(rnd.winner_eids.size),
-        )
-        # Color propagation floods labels one hop per kernel over the
-        # graph edges until no color changes (a device->host flag check
-        # per step).  The measured iteration count is the merged
-        # components' hop-diameter: deep on road networks, which is
-        # exactly cuGraph's Table-4 signature (3.7 s on europe_osm).
-        flood = graph_flood_iterations(src, dst, comp, rnd.new_comp)
-        for _ in range(max(1, flood)):
-            device.launch(
-                "color_propagation",
-                items=m_slots,
-                cycles=n * _PROP_VERTEX_CYCLES,
-                bytes_=(6.0 + weight_bytes) * m_slots,
-            )
-            device.host_sync()
-        device.host_sync()
+                for i in range(_FRAMEWORK_LAUNCH_FACTOR):
+                    device.launch(
+                        f"min_edge_pass{i}",
+                        items=m_slots,
+                        cycles=thread_mode_cycles(
+                            degrees, _NEIGHBOR_CYCLES / _FRAMEWORK_LAUNCH_FACTOR
+                        )
+                        + n * _VERTEX_CYCLES / _FRAMEWORK_LAUNCH_FACTOR,
+                        bytes_=(20.0 + 2.0 * weight_bytes)
+                        * m_slots
+                        / _FRAMEWORK_LAUNCH_FACTOR,
+                        atomics=(2 * rnd.cross_edges)
+                        // _FRAMEWORK_LAUNCH_FACTOR,
+                        atomic_max_contention=min(rnd.atomic_contention, dmax),
+                        critical_items=dmax // _FRAMEWORK_LAUNCH_FACTOR,
+                    )
+                device.launch(
+                    "supervertex_merge",
+                    items=n,
+                    cycles=n * 5.0,
+                    bytes_=16.0 * n,
+                    atomics=int(rnd.winner_eids.size),
+                )
+                # Color propagation floods labels one hop per kernel
+                # over the graph edges until no color changes (a
+                # device->host flag check per step).  The measured
+                # iteration count is the merged components'
+                # hop-diameter: deep on road networks, which is exactly
+                # cuGraph's Table-4 signature (3.7 s on europe_osm).
+                flood = graph_flood_iterations(src, dst, comp, rnd.new_comp)
+                for _ in range(max(1, flood)):
+                    device.launch(
+                        "color_propagation",
+                        items=m_slots,
+                        cycles=n * _PROP_VERTEX_CYCLES,
+                        bytes_=(6.0 + weight_bytes) * m_slots,
+                    )
+                    device.host_sync()
+                device.host_sync()
 
-        comp = rnd.new_comp
-        if rnd.cross_edges == 0:
-            break
+            comp = rnd.new_comp
+            if rnd.cross_edges == 0:
+                break
 
     table = np.zeros(graph.num_edges, dtype=np.int64)
     table[eid] = w

@@ -18,6 +18,7 @@ from ..graph.properties import connected_components
 from ..gpusim.costmodel import Device
 from ..gpusim.spec import GPUSpec, RTX_3080_TI
 from ..gpusim.warp import thread_mode_cycles
+from ..obs.trace import NULL_TRACER
 from ._boruvka_common import boruvka_round
 from .errors import NotConnectedError
 
@@ -28,7 +29,9 @@ _VERTEX_CYCLES = 10.0  # frontier bookkeeping per vertex
 _PROP_VERTEX_CYCLES = 3.0
 
 
-def gunrock_mst(graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI) -> MstResult:
+def gunrock_mst(
+    graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI, tracer=None
+) -> MstResult:
     """Compute the MST of a single-component ``graph``.
 
     Raises
@@ -42,7 +45,8 @@ def gunrock_mst(graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI) -> MstResult:
             f"{graph.name} has {n_cc} components; Gunrock computes MSTs only"
         )
 
-    device = Device(gpu)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    device = Device(gpu, tracer=tracer)
     n = graph.num_vertices
     src = graph.edge_sources().astype(np.int64)
     dst = graph.col_idx.astype(np.int64)
@@ -56,57 +60,68 @@ def gunrock_mst(graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI) -> MstResult:
     in_mst = np.zeros(graph.num_edges, dtype=bool)
     rounds = 0
 
-    while True:
-        rounds += 1
-        rnd = boruvka_round(src, dst, w, eid, comp)
-        in_mst[rnd.winner_eids] = True
+    with tracer.span(
+        f"gunrock on {graph.name}",
+        kind="run",
+        algorithm="gunrock-gpu",
+        graph=graph.name,
+        vertices=n,
+        edges=graph.num_edges,
+    ):
+        while True:
+            rounds += 1
+            with tracer.span(f"round {rounds}", kind="round"):
+                rnd = boruvka_round(src, dst, w, eid, comp, tracer=tracer)
+                in_mst[rnd.winner_eids] = True
 
-        device.launch(
-            "advance_min_edge",
-            items=m_slots,
-            cycles=thread_mode_cycles(degrees, _NEIGHBOR_CYCLES)
-            + n * _VERTEX_CYCLES,
-            bytes_=26.0 * m_slots + 8.0 * n,
-            atomics=2 * rnd.cross_edges,
-            atomic_max_contention=min(rnd.atomic_contention, dmax),
-            critical_items=dmax,
-        )
-        device.launch(
-            "filter_mark",
-            items=n,
-            cycles=n * 5.0,
-            bytes_=16.0 * n,
-            atomics=int(rnd.winner_eids.size),
-        )
-        # Generic advance/filter pipeline: the framework materializes
-        # an explicit frontier between operators each round.
-        device.launch(
-            "frontier_compact",
-            items=m_slots,
-            cycles=4.0 * m_slots,
-            bytes_=8.0 * m_slots + 8.0 * n,
-        )
-        # Label resolution runs a CC subroutine from scratch over the
-        # accumulated tree (hook + jump until flat), one operator
-        # launch per step, each with the framework's host round trip.
-        import math
+                device.launch(
+                    "advance_min_edge",
+                    items=m_slots,
+                    cycles=thread_mode_cycles(degrees, _NEIGHBOR_CYCLES)
+                    + n * _VERTEX_CYCLES,
+                    bytes_=26.0 * m_slots + 8.0 * n,
+                    atomics=2 * rnd.cross_edges,
+                    atomic_max_contention=min(rnd.atomic_contention, dmax),
+                    critical_items=dmax,
+                )
+                device.launch(
+                    "filter_mark",
+                    items=n,
+                    cycles=n * 5.0,
+                    bytes_=16.0 * n,
+                    atomics=int(rnd.winner_eids.size),
+                )
+                # Generic advance/filter pipeline: the framework
+                # materializes an explicit frontier between operators
+                # each round.
+                device.launch(
+                    "frontier_compact",
+                    items=m_slots,
+                    cycles=4.0 * m_slots,
+                    bytes_=8.0 * m_slots + 8.0 * n,
+                )
+                # Label resolution runs a CC subroutine from scratch
+                # over the accumulated tree (hook + jump until flat),
+                # one operator launch per step, each with the
+                # framework's host round trip.
+                import math
 
-        merged = n - rnd.num_components
-        cc_iters = 2 + max(1, int(math.log2(max(2, merged + 1))))
-        for _ in range(cc_iters):
-            device.launch(
-                "label_propagation",
-                items=n,
-                cycles=n * _PROP_VERTEX_CYCLES,
-                bytes_=12.0 * n,
-            )
-            device.host_sync()
-        device.host_sync()  # advance/filter frontier bookkeeping
-        device.host_sync()  # outer-loop stopping condition
+                merged = n - rnd.num_components
+                cc_iters = 2 + max(1, int(math.log2(max(2, merged + 1))))
+                for _ in range(cc_iters):
+                    device.launch(
+                        "label_propagation",
+                        items=n,
+                        cycles=n * _PROP_VERTEX_CYCLES,
+                        bytes_=12.0 * n,
+                    )
+                    device.host_sync()
+                device.host_sync()  # advance/filter frontier bookkeeping
+                device.host_sync()  # outer-loop stopping condition
 
-        comp = rnd.new_comp
-        if rnd.num_components == 1 or rnd.cross_edges == 0:
-            break
+            comp = rnd.new_comp
+            if rnd.num_components == 1 or rnd.cross_edges == 0:
+                break
 
     table = np.zeros(graph.num_edges, dtype=np.int64)
     table[eid] = w

@@ -22,6 +22,7 @@ from ..graph.properties import connected_components
 from ..gpusim.costmodel import Device
 from ..gpusim.spec import GPUSpec, RTX_3080_TI
 from ..gpusim.warp import thread_mode_cycles
+from ..obs.trace import NULL_TRACER
 from ._boruvka_common import boruvka_round
 from .errors import NotConnectedError
 
@@ -33,7 +34,9 @@ _MARK_CYCLES = 5.0  # winner check + hook per vertex
 _PROP_VERTEX_CYCLES = 3.0  # one pointer-jump step per vertex
 
 
-def jucele_mst(graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI) -> MstResult:
+def jucele_mst(
+    graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI, tracer=None
+) -> MstResult:
     """Compute the MST of a single-component ``graph``.
 
     Raises
@@ -47,7 +50,8 @@ def jucele_mst(graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI) -> MstResult:
             f"{graph.name} has {n_cc} components; Jucele computes MSTs only"
         )
 
-    device = Device(gpu)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    device = Device(gpu, tracer=tracer)
     n = graph.num_vertices
     src = graph.edge_sources().astype(np.int64)
     dst = graph.col_idx.astype(np.int64)
@@ -61,69 +65,80 @@ def jucele_mst(graph: CSRGraph, *, gpu: GPUSpec = RTX_3080_TI) -> MstResult:
     active = np.ones(n, dtype=bool)  # data-driven: vertices still merging
     rounds = 0
 
-    while True:
-        rounds += 1
-        # Data-driven restriction: only slots whose source vertex is
-        # still active are scanned this round.
-        slot_active = active[src]
-        s, d = src[slot_active], dst[slot_active]
-        ws, es = w[slot_active], eid[slot_active]
-        scanned = int(s.size)
+    with tracer.span(
+        f"jucele on {graph.name}",
+        kind="run",
+        algorithm="jucele-gpu",
+        graph=graph.name,
+        vertices=n,
+        edges=graph.num_edges,
+    ):
+        while True:
+            rounds += 1
+            with tracer.span(f"round {rounds}", kind="round"):
+                # Data-driven restriction: only slots whose source
+                # vertex is still active are scanned this round.
+                slot_active = active[src]
+                s, d = src[slot_active], dst[slot_active]
+                ws, es = w[slot_active], eid[slot_active]
+                scanned = int(s.size)
 
-        rnd = boruvka_round(s, d, ws, es, comp)
-        in_mst[rnd.winner_eids] = True
+                rnd = boruvka_round(s, d, ws, es, comp, tracer=tracer)
+                in_mst[rnd.winner_eids] = True
 
-        # Kernel 1: per-vertex lightest-edge search (thread per vertex,
-        # unguarded atomicMin reductions -> same-address serialization
-        # on the hottest component).
-        work = np.where(active, degrees, 0)
-        device.launch(
-            "find_min",
-            items=scanned,
-            cycles=thread_mode_cycles(work, _NEIGHBOR_CYCLES)
-            + n * _VERTEX_CYCLES,
-            bytes_=26.0 * scanned + 8.0 * n,
-            atomics=2 * rnd.cross_edges,  # atomicMin per endpoint
-            # Per-vertex reductions: contention bounded by the degree.
-            atomic_max_contention=min(rnd.atomic_contention, dmax),
-            critical_items=dmax,  # one thread walks the heaviest vertex
-        )
-        # Kernel 2: mark chosen edges + hook components.
-        device.launch(
-            "mark",
-            items=n,
-            cycles=n * _MARK_CYCLES,
-            bytes_=16.0 * n,
-            atomics=int(rnd.winner_eids.size),
-        )
-        # Connected components are *recomputed from scratch* over the
-        # accumulated tree each round (hook + pointer-jump until flat),
-        # a kernel per step with a converged-flag copy back to the host
-        # — the memcpy-while-loop pattern Pai & Pingali flag.
-        import math
+                # Kernel 1: per-vertex lightest-edge search (thread per
+                # vertex, unguarded atomicMin reductions -> same-address
+                # serialization on the hottest component).
+                work = np.where(active, degrees, 0)
+                device.launch(
+                    "find_min",
+                    items=scanned,
+                    cycles=thread_mode_cycles(work, _NEIGHBOR_CYCLES)
+                    + n * _VERTEX_CYCLES,
+                    bytes_=26.0 * scanned + 8.0 * n,
+                    atomics=2 * rnd.cross_edges,  # atomicMin per endpoint
+                    # Per-vertex reductions: contention bounded by degree.
+                    atomic_max_contention=min(rnd.atomic_contention, dmax),
+                    critical_items=dmax,  # one thread, heaviest vertex
+                )
+                # Kernel 2: mark chosen edges + hook components.
+                device.launch(
+                    "mark",
+                    items=n,
+                    cycles=n * _MARK_CYCLES,
+                    bytes_=16.0 * n,
+                    atomics=int(rnd.winner_eids.size),
+                )
+                # Connected components are *recomputed from scratch*
+                # over the accumulated tree each round (hook +
+                # pointer-jump until flat), a kernel per step with a
+                # converged-flag copy back to the host — the
+                # memcpy-while-loop pattern Pai & Pingali flag.
+                import math
 
-        merged = n - rnd.num_components
-        cc_iters = 2 + max(1, int(math.log2(max(2, merged + 1))))
-        for _ in range(cc_iters):
-            device.launch(
-                "recompute_cc",
-                items=n,
-                cycles=n * _PROP_VERTEX_CYCLES,
-                bytes_=12.0 * n,
-            )
-            device.host_sync()
-        device.host_sync()  # outer-loop stopping condition
+                merged = n - rnd.num_components
+                cc_iters = 2 + max(1, int(math.log2(max(2, merged + 1))))
+                for _ in range(cc_iters):
+                    device.launch(
+                        "recompute_cc",
+                        items=n,
+                        cycles=n * _PROP_VERTEX_CYCLES,
+                        bytes_=12.0 * n,
+                    )
+                    device.host_sync()
+                device.host_sync()  # outer-loop stopping condition
 
-        if rnd.cross_edges == 0 or rnd.num_components == 1:
+            if rnd.cross_edges == 0 or rnd.num_components == 1:
+                comp = rnd.new_comp
+                break
             comp = rnd.new_comp
-            break
-        comp = rnd.new_comp
-        # A vertex stays active while any incident slot crosses components.
-        cross_slot = comp[src] != comp[dst]
-        active = np.zeros(n, dtype=bool)
-        active[src[cross_slot]] = True
-        if not active.any():
-            break
+            # A vertex stays active while any incident slot crosses
+            # components.
+            cross_slot = comp[src] != comp[dst]
+            active = np.zeros(n, dtype=bool)
+            active[src[cross_slot]] = True
+            if not active.any():
+                break
 
     sel_w = np.zeros(graph.num_edges, dtype=np.int64)
     sel_w[eid] = w

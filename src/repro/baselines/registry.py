@@ -8,6 +8,7 @@ reports "NC" otherwise, as the paper does.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -39,24 +40,36 @@ class Runner:
     supports_msf: bool
     fn: Callable[..., MstResult]
 
-    def run(self, graph: CSRGraph, *, gpu: GPUSpec, cpu: CPUSpec) -> MstResult:
+    def accepts_tracer(self) -> bool:
+        """Whether the underlying code takes a ``tracer`` kwarg."""
+        try:
+            return "tracer" in inspect.signature(self.fn).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            return False
+
+    def run(
+        self, graph: CSRGraph, *, gpu: GPUSpec, cpu: CPUSpec, tracer=None
+    ) -> MstResult:
+        # Tracing is best-effort: codes that were never instrumented
+        # simply run untraced (the harness still wraps them in a span).
+        kwargs = {}
+        if tracer is not None and self.accepts_tracer():
+            kwargs["tracer"] = tracer
         if self.kind == "gpu":
-            return self.fn(graph, gpu=gpu)
-        if self.kind == "cpu-parallel":
-            return self.fn(graph, cpu=cpu)
-        return self.fn(graph, cpu=cpu)
+            return self.fn(graph, gpu=gpu, **kwargs)
+        return self.fn(graph, cpu=cpu, **kwargs)
 
 
-def _ecl(graph: CSRGraph, *, gpu: GPUSpec) -> MstResult:
-    return ecl_mst(graph, EclMstConfig(), gpu=gpu)
+def _ecl(graph: CSRGraph, *, gpu: GPUSpec, tracer=None) -> MstResult:
+    return ecl_mst(graph, EclMstConfig(), gpu=gpu, tracer=tracer)
 
 
-def _cugraph_double(graph: CSRGraph, *, gpu: GPUSpec) -> MstResult:
-    return cugraph_mst(graph, gpu=gpu, precision="double")
+def _cugraph_double(graph: CSRGraph, *, gpu: GPUSpec, tracer=None) -> MstResult:
+    return cugraph_mst(graph, gpu=gpu, precision="double", tracer=tracer)
 
 
-def _cugraph_float(graph: CSRGraph, *, gpu: GPUSpec) -> MstResult:
-    return cugraph_mst(graph, gpu=gpu, precision="float")
+def _cugraph_float(graph: CSRGraph, *, gpu: GPUSpec, tracer=None) -> MstResult:
+    return cugraph_mst(graph, gpu=gpu, precision="float", tracer=tracer)
 
 
 RUNNERS: dict[str, Runner] = {

@@ -22,6 +22,7 @@ from ..baselines.errors import NotConnectedError
 from ..baselines.registry import Runner, get_runner
 from ..core.result import MstResult
 from ..graph.csr import CSRGraph
+from ..obs.trace import NULL_TRACER
 from ..gpusim.spec import (
     CPUSpec,
     GPUSpec,
@@ -114,19 +115,43 @@ def run_cell(
     *,
     repetitions: int = 1,
     verify: bool = False,
+    tracer=None,
 ) -> Cell:
-    """Run one code on one input; returns an NC cell when unsupported."""
+    """Run one code on one input; returns an NC cell when unsupported.
+
+    ``tracer``: optional :class:`~repro.obs.trace.Tracer`.  The cell is
+    wrapped in a ``cell`` span (code, input, system, outcome) and the
+    tracer is forwarded to instrumented runners, which nest their own
+    ``run > phase > round > kernel`` spans beneath it.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     times: list[float] = []
     walls: list[float] = []
     result: MstResult | None = None
-    try:
-        for _ in range(max(1, repetitions)):
-            t0 = time.perf_counter()
-            result = runner.run(graph, gpu=system.gpu, cpu=system.cpu)
-            walls.append(time.perf_counter() - t0)
-            times.append(result.modeled_seconds)
-    except NotConnectedError:
-        return Cell(runner.name, graph.name, seconds=None)
+    with tracer.span(
+        f"{runner.name} on {graph.name}",
+        kind="cell",
+        code=runner.name,
+        graph=graph.name,
+        system=system.name,
+    ):
+        try:
+            for _ in range(max(1, repetitions)):
+                t0 = time.perf_counter()
+                result = runner.run(
+                    graph,
+                    gpu=system.gpu,
+                    cpu=system.cpu,
+                    tracer=tracer if tracer.enabled else None,
+                )
+                walls.append(time.perf_counter() - t0)
+                times.append(result.modeled_seconds)
+        except NotConnectedError:
+            tracer.annotate(outcome="NC")
+            return Cell(runner.name, graph.name, seconds=None)
+        tracer.annotate(
+            outcome="ok", modeled_seconds=statistics.median(times)
+        )
     if verify and result is not None:
         from ..core.verify import verify_mst
 
@@ -149,6 +174,7 @@ def run_grid(
     *,
     repetitions: int = 1,
     verify: bool = False,
+    tracer=None,
 ) -> GridResult:
     """Run every code on every input on the given system."""
     grid = GridResult(system=system, graphs=graphs)
@@ -156,6 +182,11 @@ def run_grid(
         runner = get_runner(code)
         for name, graph in graphs.items():
             grid.cells[(code, name)] = run_cell(
-                runner, graph, system, repetitions=repetitions, verify=verify
+                runner,
+                graph,
+                system,
+                repetitions=repetitions,
+                verify=verify,
+                tracer=tracer,
             )
     return grid

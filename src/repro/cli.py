@@ -12,6 +12,8 @@ Subcommands::
     repro-mst report [--out FILE] [--scale S]     # full markdown repro report
     repro-mst convert <in> <out>                  # graph format conversion
     repro-mst mst <graphfile> [--out edges.txt]   # MSF of a graph file
+    repro-mst trace <input> [--format chrome|ndjson] [--out FILE]
+    repro-mst profile <input> [--baseline FILE] [--format json|chrome|ndjson]
 
 For backwards compatibility, a bare experiment key also works:
 ``python -m repro table4`` ≡ ``python -m repro exp table4``.
@@ -162,6 +164,95 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _resolve_input(name: str, scale: float):
+    """A suite input name, or a path to a graph file in a known format."""
+    if Path(name).suffix in _FORMAT_LOADERS and Path(name).exists():
+        return _load_graph(name)
+    from .generators import suite
+
+    return suite.build(name, scale=scale)
+
+
+def _traced_run(args):
+    """Run one (instrumented) code under a tracer; shared by
+    ``trace`` and ``profile``."""
+    from .baselines.registry import get_runner
+    from .bench.harness import SYSTEM1, SYSTEM2
+    from .core.config import EclMstConfig, deopt_stages
+    from .core.eclmst import ecl_mst
+    from .obs import Tracer
+
+    g = _resolve_input(args.input, args.scale)
+    system = SYSTEM1 if args.system == 1 else SYSTEM2
+    tracer = Tracer()
+    stage = getattr(args, "stage", None)
+    code = getattr(args, "code", "ECL-MST")
+    if stage is not None:
+        stages = dict(deopt_stages())
+        if stage not in stages:
+            raise SystemExit(
+                f"unknown de-opt stage {stage!r}; choose from "
+                f"{', '.join(stages)}"
+            )
+        result = ecl_mst(g, stages[stage], gpu=system.gpu, tracer=tracer)
+    elif code == "ECL-MST":
+        result = ecl_mst(g, EclMstConfig(), gpu=system.gpu, tracer=tracer)
+    else:
+        runner = get_runner(code)
+        result = runner.run(g, gpu=system.gpu, cpu=system.cpu, tracer=tracer)
+    return result, tracer
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        with open(out, "w") as f:
+            f.write(text)
+            if not text.endswith("\n"):
+                f.write("\n")
+        print(f"written to {out}")
+    else:
+        print(text)
+
+
+def _cmd_trace(args) -> int:
+    from .obs import to_chrome_trace_json, to_ndjson
+
+    result, tracer = _traced_run(args)
+    if args.format == "ndjson":
+        _emit(to_ndjson(tracer), args.out)
+    else:
+        _emit(to_chrome_trace_json(tracer), args.out)
+    print(
+        f"# traced {result.algorithm} on {args.input}: "
+        f"{len(tracer.spans())} spans, "
+        f"{result.counters.num_launches} launches, "
+        f"{result.modeled_seconds * 1e3:.4f} ms modeled",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import RunProfile, diff, to_chrome_trace_json, to_ndjson
+
+    result, tracer = _traced_run(args)
+    profile = RunProfile.from_result(result)
+    if args.baseline:
+        baseline = RunProfile.load(args.baseline)
+        d = diff(baseline, profile)
+        print(d.render() if args.format == "text" else d.to_json())
+        return 0
+    if args.format == "chrome":
+        _emit(to_chrome_trace_json(tracer), args.out)
+    elif args.format == "ndjson":
+        _emit(to_ndjson(tracer), args.out)
+    elif args.format == "text":
+        _emit(profile.render(), args.out)
+    else:
+        _emit(profile.to_json(), args.out)
+    return 0
+
+
 def _cmd_convert(args) -> int:
     g = _load_graph(args.src)
     _save_graph(g, args.dst)
@@ -244,13 +335,66 @@ def _build_parser() -> argparse.ArgumentParser:
     p_mst.add_argument("--verify", action="store_true")
     p_mst.set_defaults(fn=_cmd_mst)
 
+    def _obs_common(p) -> None:
+        p.add_argument(
+            "input", help="suite input name or graph file path"
+        )
+        p.add_argument("--code", default="ECL-MST", help="MST code to run")
+        p.add_argument(
+            "--stage",
+            help="run ECL-MST at a Table-5 de-optimization stage "
+            "(e.g. 'No Atomic Guards')",
+        )
+        p.add_argument("--system", type=int, choices=(1, 2), default=2)
+        p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+        p.add_argument("--out", help="write the artifact to this file")
+
+    p_trace = sub.add_parser(
+        "trace", help="emit a span trace of one run (Perfetto/NDJSON)"
+    )
+    _obs_common(p_trace)
+    p_trace.add_argument(
+        "--format", choices=("chrome", "ndjson"), default="chrome"
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="emit (or diff) a JSON run profile with per-kernel breakdown",
+    )
+    _obs_common(p_prof)
+    p_prof.add_argument(
+        "--baseline", help="diff against this previously saved profile"
+    )
+    p_prof.add_argument(
+        "--format",
+        choices=("json", "chrome", "ndjson", "text"),
+        default="json",
+    )
+    p_prof.set_defaults(fn=_cmd_profile)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: bare `profile` (no input) is the §5.1 experiment key,
+    # predating the `profile <input>` subcommand.
+    if argv == ["profile"]:
+        argv = ["exp", "profile"]
     # Back-compat: a bare experiment key maps onto the `exp` subcommand.
-    known = {"exp", "run", "codes", "inputs", "artifact", "convert", "mst", "report"}
+    known = {
+        "exp",
+        "run",
+        "codes",
+        "inputs",
+        "artifact",
+        "convert",
+        "mst",
+        "report",
+        "trace",
+        "profile",
+    }
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["exp", *argv]
     parser = _build_parser()

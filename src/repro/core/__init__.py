@@ -9,7 +9,7 @@ from .convergence import (
 )
 from .eclmst import ecl_mst
 from .filtering import FilterPlan, plan_filtering, threshold_accuracy
-from .result import MstResult
+from .result import MstResult, RoundStats
 from .validate import MsfValidationError, validate_msf
 from .verify import VerificationError, reference_mst_mask, verify_mst
 
@@ -19,6 +19,7 @@ __all__ = [
     "FilterPlan",
     "MsfValidationError",
     "MstResult",
+    "RoundStats",
     "VerificationError",
     "boruvka_parallel",
     "deopt_stages",

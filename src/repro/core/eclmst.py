@@ -15,6 +15,7 @@ from ..graph.csr import CSRGraph
 from ..gpusim.atomics import KEY_INFINITY, atomic_min_u64, pack_keys
 from ..gpusim.costmodel import Device
 from ..gpusim.spec import GPUSpec, RTX_3080_TI
+from ..obs.trace import NULL_TRACER
 from . import costs
 from .config import EclMstConfig
 from .filtering import FilterPlan, plan_filtering
@@ -25,7 +26,7 @@ from .kernels import (
     kernel3_reset,
     kernel_init_populate,
 )
-from .result import MstResult
+from .result import MstResult, RoundStats
 
 __all__ = ["ecl_mst"]
 
@@ -40,26 +41,28 @@ def _edge_weight_table(graph: CSRGraph) -> np.ndarray:
 def _run_data_driven_loop(
     state: MstState,
     weight_of_edge: np.ndarray,
-    round_log: list[dict] | None = None,
+    round_log: list[RoundStats] | None = None,
 ) -> int:
     """The Alg.-2 while loop; returns the number of rounds executed."""
+    tracer = state.device.tracer
     rounds = 0
     while len(state.wl.front):
         rounds += 1
         entries = len(state.wl.front)
-        survivors = kernel1_reserve(state)
-        state.wl.swap()
-        # The while condition is a worklist-size flag copied back to
-        # the host — one round trip per round (bounded by O(log |V|)).
-        state.device.host_sync()
-        added = 0
-        if len(state.wl.front):
-            added = kernel2_union(state)
-            kernel3_reset(state)
+        with tracer.span(f"round {rounds}", kind="round", entries=entries):
+            survivors = kernel1_reserve(state)
+            state.wl.swap()
+            # The while condition is a worklist-size flag copied back to
+            # the host — one round trip per round (bounded by O(log |V|)).
+            state.device.host_sync()
+            added = 0
+            if len(state.wl.front):
+                added = kernel2_union(state)
+                kernel3_reset(state)
+            stats = RoundStats(entries=entries, survivors=survivors, added=added)
+            tracer.annotate(survivors=survivors, added=added)
         if round_log is not None:
-            round_log.append(
-                {"entries": entries, "survivors": survivors, "added": added}
-            )
+            round_log.append(stats)
     return rounds
 
 
@@ -84,22 +87,27 @@ def _run_topology_driven_loop(
 
     all_entries = EdgeList(src[mask], dst[mask], w[mask], eid[mask])
 
+    tracer = state.device.tracer
     rounds = 0
     while True:
         rounds += 1
-        state.wl.fill_front(all_entries)
-        survivors = kernel1_reserve(state)
-        # Topology-driven k1 does not build a worklist; the swap is a
-        # no-op structurally, but the reservations are in minEdge.
-        state.wl.swap()
-        state.wl.front = all_entries  # k2/k3 rescan everything
-        state.device.host_sync()  # did-anything-change flag
-        if survivors == 0:
-            # Matches the data-driven launch count: the loop only
-            # learns it is done from an empty reservation round.
-            break
-        kernel2_union(state)
-        kernel3_reset(state)
+        with tracer.span(
+            f"round {rounds}", kind="round", entries=len(all_entries)
+        ):
+            state.wl.fill_front(all_entries)
+            survivors = kernel1_reserve(state)
+            # Topology-driven k1 does not build a worklist; the swap is a
+            # no-op structurally, but the reservations are in minEdge.
+            state.wl.swap()
+            state.wl.front = all_entries  # k2/k3 rescan everything
+            state.device.host_sync()  # did-anything-change flag
+            tracer.annotate(survivors=survivors)
+            if survivors == 0:
+                # Matches the data-driven launch count: the loop only
+                # learns it is done from an empty reservation round.
+                break
+            kernel2_union(state)
+            kernel3_reset(state)
     state.wl.front = type(all_entries).empty()
     return rounds
 
@@ -110,6 +118,7 @@ def ecl_mst(
     *,
     gpu: GPUSpec = RTX_3080_TI,
     verify: bool = False,
+    tracer=None,
 ) -> MstResult:
     """Compute the MSF of ``graph`` with ECL-MST on the simulated GPU.
 
@@ -127,6 +136,11 @@ def ecl_mst(
     verify:
         Re-check the result against serial Kruskal, as the paper's
         artifact does after every run (not charged to the runtime).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` recording nested
+        ``run > phase > round > kernel`` spans.  ``None`` (the default)
+        traces nothing and adds no overhead; tracing never changes the
+        computed MSF or the modeled counters.
 
     Returns
     -------
@@ -134,34 +148,60 @@ def ecl_mst(
         With per-kernel counters and modeled computation time.
     """
     config = config or EclMstConfig()
-    device = Device(gpu)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    device = Device(gpu, tracer=tracer)
     state = MstState.create(graph, config, device)
     weight_of_edge = _edge_weight_table(graph)
     plan = plan_filtering(graph, config)
-    round_log: list[dict] = []
+    round_log: list[RoundStats] = []
 
     rounds = 0
-    if plan.active:
-        kernel_init_populate(state, plan.threshold, phase=1)
-        if config.data_driven:
-            rounds += _run_data_driven_loop(state, weight_of_edge, round_log)
+    with tracer.span(
+        f"ecl-mst on {graph.name}",
+        kind="run",
+        algorithm="ecl-mst",
+        graph=graph.name,
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        filtering=plan.active,
+    ):
+        if plan.active:
+            with tracer.span(
+                "phase 1", kind="phase", threshold=plan.threshold
+            ):
+                kernel_init_populate(state, plan.threshold, phase=1)
+                if config.data_driven:
+                    rounds += _run_data_driven_loop(
+                        state, weight_of_edge, round_log
+                    )
+                else:
+                    rounds += _run_topology_driven_loop(
+                        state, plan.threshold, 1, weight_of_edge
+                    )
+            with tracer.span(
+                "phase 2", kind="phase", threshold=plan.threshold
+            ):
+                kernel_init_populate(state, plan.threshold, phase=2)
+                if config.data_driven:
+                    rounds += _run_data_driven_loop(
+                        state, weight_of_edge, round_log
+                    )
+                else:
+                    rounds += _run_topology_driven_loop(
+                        state, plan.threshold, 2, weight_of_edge
+                    )
         else:
-            rounds += _run_topology_driven_loop(
-                state, plan.threshold, 1, weight_of_edge
-            )
-        kernel_init_populate(state, plan.threshold, phase=2)
-        if config.data_driven:
-            rounds += _run_data_driven_loop(state, weight_of_edge, round_log)
-        else:
-            rounds += _run_topology_driven_loop(
-                state, plan.threshold, 2, weight_of_edge
-            )
-    else:
-        kernel_init_populate(state, None, phase=0)
-        if config.data_driven:
-            rounds += _run_data_driven_loop(state, weight_of_edge, round_log)
-        else:
-            rounds += _run_topology_driven_loop(state, None, 0, weight_of_edge)
+            with tracer.span("main phase", kind="phase"):
+                kernel_init_populate(state, None, phase=0)
+                if config.data_driven:
+                    rounds += _run_data_driven_loop(
+                        state, weight_of_edge, round_log
+                    )
+                else:
+                    rounds += _run_topology_driven_loop(
+                        state, None, 0, weight_of_edge
+                    )
+        tracer.annotate(rounds=rounds)
 
     sel = state.in_mst
     total_weight = int(weight_of_edge[sel].sum()) if sel.any() else 0
@@ -182,7 +222,10 @@ def ecl_mst(
         counters=device.counters,
         memcpy_seconds=memcpy,
         algorithm="ecl-mst",
+        # ``round_log`` is the deprecated alias of ``round_stats``:
+        # same RoundStats records (dict-style access still works).
         extra={"filter_plan": plan, "config": config, "round_log": round_log},
+        round_stats=round_log,
     )
     if verify:
         from .verify import verify_mst

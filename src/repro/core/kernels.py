@@ -222,6 +222,8 @@ def kernel_init_populate(
         critical_items=critical,
         find_jumps=find_loads,
     )
+    if dev.tracer.enabled:
+        dev.tracer.annotate(populate_phase=phase, populated=appended)
     return appended
 
 
@@ -310,6 +312,12 @@ def kernel1_reserve(state: MstState) -> int:
         critical_items=critical,
         find_jumps=loads,
     )
+    if dev.tracer.enabled:
+        dev.tracer.annotate(
+            k1_survivors=survivors,
+            k1_atomics_executed=executed,
+            k1_atomics_skipped=skipped,
+        )
     return survivors
 
 
@@ -402,6 +410,8 @@ def kernel2_union(state: MstState) -> int:
         atomics=cas_attempts,
         find_jumps=loads + union_loads,
     )
+    if dev.tracer.enabled:
+        dev.tracer.annotate(k2_added=added, k2_mirror_dups=mirror_dups)
     return added
 
 

@@ -9,7 +9,43 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..gpusim.counters import RunCounters
 
-__all__ = ["MstResult"]
+__all__ = ["MstResult", "RoundStats"]
+
+
+@dataclass
+class RoundStats:
+    """Per-round diagnostics of the Alg.-2 while loop.
+
+    One record per data-driven round: worklist entries at round start,
+    entries surviving the cycle discard (round i+1's input), and edges
+    committed to the MST.  Emitted through the tracer's ``round`` spans
+    and collected on :attr:`MstResult.round_stats`.
+
+    Supports ``stats["entries"]``-style access for compatibility with
+    the deprecated ``MstResult.extra["round_log"]`` dict format.
+    """
+
+    entries: int
+    survivors: int
+    added: int
+
+    _KEYS = ("entries", "survivors", "added")
+
+    def __getitem__(self, key: str) -> int:
+        if key not in self._KEYS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def keys(self):  # dict-like, so ``dict(stats)`` works
+        return iter(self._KEYS)
+
+    def to_dict(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in self._KEYS}
+
+    @property
+    def shrink_rate(self) -> float:
+        """Survivor fraction (the geometric-decay observable)."""
+        return self.survivors / self.entries if self.entries else 0.0
 
 
 @dataclass
@@ -32,6 +68,9 @@ class MstResult:
     memcpy_seconds: float = 0.0
     algorithm: str = "ecl-mst"
     extra: dict = field(default_factory=dict)
+    # Typed per-round diagnostics; ``extra["round_log"]`` aliases the
+    # same records for backwards compatibility (deprecated).
+    round_stats: list[RoundStats] = field(default_factory=list)
 
     @property
     def modeled_seconds_with_memcpy(self) -> float:

@@ -23,6 +23,7 @@ overheads instead of kernel launches.
 
 from __future__ import annotations
 
+from ..obs.trace import NULL_TRACER
 from .counters import KernelCounters, RunCounters
 from .spec import CPUSpec, GPUSpec
 
@@ -75,9 +76,22 @@ class Device:
     accumulates modeled elapsed time.
     """
 
-    def __init__(self, spec: GPUSpec) -> None:
+    def __init__(self, spec: GPUSpec, tracer=None) -> None:
         self.spec = spec
         self.counters = RunCounters()
+        self.tracer = NULL_TRACER
+        # Incremental modeled clock for the tracer only (avoids the
+        # O(launches) re-summation of ``counters.total_seconds`` per
+        # launch); reporting still uses the counters as ground truth.
+        self._modeled_elapsed = 0.0
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer) -> None:
+        """Record every launch/sync as a kernel span on ``tracer`` and
+        bind this device's modeled clock for container spans."""
+        self.tracer = tracer
+        tracer.set_modeled_clock(lambda: self._modeled_elapsed)
 
     def launch(
         self,
@@ -105,6 +119,9 @@ class Device:
         )
         k.modeled_seconds = gpu_kernel_seconds(self.spec, k)
         self.counters.add(k)
+        if self.tracer.enabled:
+            self.tracer.kernel(k, self._modeled_elapsed)
+            self._modeled_elapsed += k.modeled_seconds
         return k
 
     def host_sync(self) -> KernelCounters:
@@ -113,6 +130,9 @@ class Device:
         k = KernelCounters(name="host_sync")
         k.modeled_seconds = self.spec.host_sync_us * 1e-6
         self.counters.add(k)
+        if self.tracer.enabled:
+            self.tracer.kernel(k, self._modeled_elapsed)
+            self._modeled_elapsed += k.modeled_seconds
         return k
 
     @property
@@ -133,10 +153,19 @@ class CpuMachine:
     the reporting layer can treat GPU and CPU runs uniformly.
     """
 
-    def __init__(self, spec: CPUSpec, threads: int = 0) -> None:
+    def __init__(self, spec: CPUSpec, threads: int = 0, tracer=None) -> None:
         self.spec = spec
         self.threads = threads if threads > 0 else spec.cores
         self.counters = RunCounters()
+        self.tracer = NULL_TRACER
+        self._modeled_elapsed = 0.0
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer) -> None:
+        """Record every phase as a kernel span on ``tracer``."""
+        self.tracer = tracer
+        tracer.set_modeled_clock(lambda: self._modeled_elapsed)
 
     def phase(
         self,
@@ -156,6 +185,9 @@ class CpuMachine:
             self.spec, ops=ops, bytes_=bytes_, threads=threads, syncs=syncs
         )
         self.counters.add(k)
+        if self.tracer.enabled:
+            self.tracer.kernel(k, self._modeled_elapsed)
+            self._modeled_elapsed += k.modeled_seconds
         return k
 
     @property

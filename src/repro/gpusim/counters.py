@@ -11,7 +11,7 @@ the amount of work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["KernelCounters", "RunCounters"]
 
@@ -56,6 +56,17 @@ class KernelCounters:
     find_jumps: int = 0
     modeled_seconds: float = 0.0
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "KernelCounters":
+        """Rebuild from :meth:`to_dict` output; unknown keys (from a
+        newer schema) are ignored so old readers stay compatible."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
 
 @dataclass
 class RunCounters:
@@ -99,16 +110,43 @@ class RunCounters:
         """
         if not self.kernels:
             return "(no launches)"
-        peak = max(k.modeled_seconds for k in self.kernels) or 1.0
+        peak = max(k.modeled_seconds for k in self.kernels)
         name_w = max(len(k.name) for k in self.kernels)
+        # Column widths adapt to the data: items beyond 10 digits must
+        # not shift the time/bar columns.
+        items_w = max(10, max(len(str(k.items)) for k in self.kernels))
         lines = []
         for i, k in enumerate(self.kernels):
-            bar = "#" * max(1, int(round(k.modeled_seconds / peak * width)))
+            if peak > 0:
+                # Clamp into [1, width]: every nonzero launch shows at
+                # least one tick, and rounding can never overrun.
+                bar = "#" * min(
+                    width, max(1, int(round(k.modeled_seconds / peak * width)))
+                )
+                if k.modeled_seconds == 0:
+                    bar = ""
+            else:
+                # All-zero run (e.g. counters rebuilt without pricing):
+                # an empty bar column instead of a degenerate full one.
+                bar = ""
             lines.append(
-                f"{i:4d} {k.name.ljust(name_w)} {k.items:>10d} "
+                f"{i:4d} {k.name.ljust(name_w)} {k.items:>{items_w}d} "
                 f"{k.modeled_seconds * 1e6:9.2f}us {bar}"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (profiles and bench artifacts persist counters as
+    # plain JSON — no pickling).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"kernels": [k.to_dict() for k in self.kernels]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunCounters":
+        return cls(
+            kernels=[KernelCounters.from_dict(k) for k in d.get("kernels", [])]
+        )
 
     def summary(self) -> dict[str, float]:
         return {

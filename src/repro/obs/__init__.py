@@ -1,0 +1,55 @@
+"""Observability: span tracing, metrics, and exportable run profiles.
+
+The paper's evidence is observational — the §5.1 kernel-time profile,
+the Table 5 de-optimization deltas, the Fig. 6 seed study — so this
+package gives every run a uniform way to answer "where did the work
+and modeled time go":
+
+* :mod:`~repro.obs.trace` — nested spans (``run > phase > round >
+  kernel``) with wall + modeled time, zero-overhead when disabled;
+* :mod:`~repro.obs.metrics` — a flat registry of named
+  counters/gauges/histograms derived from the measured kernel counters;
+* :mod:`~repro.obs.export` — NDJSON span logs and Chrome-trace /
+  Perfetto JSON keyed to modeled microseconds;
+* :mod:`~repro.obs.profile` — serializable run profiles with
+  ``diff()`` for regression hunting.
+"""
+
+from .export import (
+    chrome_trace_events,
+    to_chrome_trace_json,
+    to_ndjson,
+    write_chrome_trace,
+    write_ndjson,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_result_metrics,
+)
+from .profile import KernelBreakdown, ProfileDiff, RunProfile, diff, graph_fingerprint
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelBreakdown",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProfileDiff",
+    "RunProfile",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "collect_result_metrics",
+    "diff",
+    "graph_fingerprint",
+    "to_chrome_trace_json",
+    "to_ndjson",
+    "write_chrome_trace",
+    "write_ndjson",
+]

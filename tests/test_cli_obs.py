@@ -1,0 +1,116 @@
+"""CLI tests for the observability subcommands (trace/profile)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SCALE = "0.06"
+
+
+class TestTrace:
+    def test_chrome_output(self, capsys):
+        assert main(["trace", "internet", "--scale", SCALE]) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert isinstance(events, list) and events
+        for e in events:
+            assert {"ph", "ts", "name"} <= set(e)
+
+    def test_ndjson_output(self, capsys):
+        assert (
+            main(["trace", "internet", "--scale", SCALE, "--format", "ndjson"])
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert "name" in json.loads(line)
+
+    def test_out_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert (
+            main(["trace", "internet", "--scale", SCALE, "--out", str(path)])
+            == 0
+        )
+        assert isinstance(json.loads(path.read_text()), list)
+
+    def test_traced_baseline_code(self, capsys):
+        assert (
+            main(
+                ["trace", "internet", "--scale", SCALE, "--code", "Jucele GPU"]
+            )
+            == 0
+        )
+        events = json.loads(capsys.readouterr().out)
+        assert any(e["cat"] == "round" for e in events)
+
+
+class TestProfile:
+    def _profile(self, capsys, *extra):
+        assert main(["profile", "internet", "--scale", SCALE, *extra]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_json_profile_sums(self, capsys):
+        p = self._profile(capsys)
+        assert p["schema"].startswith("repro.obs.profile/")
+        total = sum(b["seconds"] for b in p["kernels"].values())
+        assert abs(total - p["modeled_seconds"]) <= 1e-9
+        assert p["graph"]["name"] == "internet"
+        assert p["metrics"]["run.rounds"] == p["rounds"]
+
+    def test_deopt_stage_flag(self, capsys):
+        p = self._profile(capsys, "--stage", "No Atomic Guards")
+        assert p["config"]["atomic_guards"] is False
+        assert p["metrics"]["atomics.elided"] == 0
+
+    def test_unknown_stage_errors(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["profile", "internet", "--scale", SCALE, "--stage", "bogus"]
+            )
+
+    def test_baseline_diff(self, capsys, tmp_path):
+        base = tmp_path / "base.json"
+        assert (
+            main(["profile", "internet", "--scale", SCALE, "--out", str(base)])
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "profile",
+                    "internet",
+                    "--scale",
+                    SCALE,
+                    "--stage",
+                    "No Atomic Guards",
+                    "--baseline",
+                    str(base),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comparable"] is True
+        assert payload["entries"]["atomics.elided"]["b"] == 0
+
+    def test_text_format(self, capsys):
+        assert (
+            main(
+                ["profile", "internet", "--scale", SCALE, "--format", "text"]
+            )
+            == 0
+        )
+        assert "ms modeled" in capsys.readouterr().out
+
+    def test_chrome_format(self, capsys):
+        assert (
+            main(
+                ["profile", "internet", "--scale", SCALE, "--format", "chrome"]
+            )
+            == 0
+        )
+        events = json.loads(capsys.readouterr().out)
+        assert all(e["ph"] == "X" for e in events)

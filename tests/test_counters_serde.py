@@ -1,0 +1,101 @@
+"""RunCounters serialization round-trip and render_timeline edge cases."""
+
+import json
+
+from repro.gpusim.counters import KernelCounters, RunCounters
+
+
+def _sample_counters() -> RunCounters:
+    rc = RunCounters()
+    rc.add(
+        KernelCounters(
+            name="init",
+            items=100,
+            cycles=1234.5,
+            bytes=9876.0,
+            atomics=7,
+            atomics_skipped=3,
+            atomic_max_contention=2,
+            critical_items=5,
+            find_jumps=11,
+            modeled_seconds=1.5e-6,
+        )
+    )
+    rc.add(KernelCounters(name="k1_reserve", items=50, modeled_seconds=3e-6))
+    rc.add(KernelCounters(name="host_sync", modeled_seconds=9e-6))
+    return rc
+
+
+class TestSerde:
+    def test_round_trip_preserves_everything(self):
+        rc = _sample_counters()
+        clone = RunCounters.from_dict(rc.to_dict())
+        assert clone.kernels == rc.kernels
+        assert clone.summary() == rc.summary()
+        assert clone.seconds_by_kernel() == rc.seconds_by_kernel()
+
+    def test_json_compatible(self):
+        rc = _sample_counters()
+        clone = RunCounters.from_dict(json.loads(json.dumps(rc.to_dict())))
+        assert clone.kernels == rc.kernels
+
+    def test_unknown_keys_ignored(self):
+        d = _sample_counters().to_dict()
+        d["kernels"][0]["future_field"] = 42
+        clone = RunCounters.from_dict(d)
+        assert clone.kernels[0].name == "init"
+
+    def test_empty(self):
+        assert RunCounters.from_dict(RunCounters().to_dict()).kernels == []
+
+    def test_real_run_round_trips(self, medium_graph):
+        from repro.core.eclmst import ecl_mst
+
+        rc = ecl_mst(medium_graph).counters
+        clone = RunCounters.from_dict(rc.to_dict())
+        assert clone.total_seconds == rc.total_seconds  # bitwise
+        assert clone.summary() == rc.summary()
+
+
+class TestRenderTimeline:
+    def test_wide_items_stay_aligned(self):
+        rc = RunCounters()
+        rc.add(KernelCounters(name="a", items=5, modeled_seconds=1e-6))
+        rc.add(
+            KernelCounters(
+                name="b", items=123_456_789_012_345, modeled_seconds=2e-6
+            )
+        )
+        lines = rc.render_timeline().splitlines()
+        # The us column starts at the same offset in every row.
+        assert len({line.index("us ") for line in lines}) == 1
+        assert "123456789012345" in lines[1]
+
+    def test_all_zero_seconds_no_degenerate_bars(self):
+        rc = RunCounters()
+        rc.add(KernelCounters(name="a", items=1, modeled_seconds=0.0))
+        rc.add(KernelCounters(name="b", items=2, modeled_seconds=0.0))
+        text = rc.render_timeline()
+        assert "#" not in text  # no fake full-width (or unit) bars
+        assert "0.00us" in text
+
+    def test_zero_rows_in_mixed_run_show_no_bar(self):
+        rc = RunCounters()
+        rc.add(KernelCounters(name="a", items=1, modeled_seconds=1e-6))
+        rc.add(KernelCounters(name="b", items=2, modeled_seconds=0.0))
+        lines = rc.render_timeline().splitlines()
+        assert lines[0].count("#") > 0
+        assert lines[1].count("#") == 0
+
+    def test_bar_clamped_to_width(self):
+        rc = RunCounters()
+        rc.add(KernelCounters(name="hot", items=1, modeled_seconds=5e-3))
+        rc.add(KernelCounters(name="cold", items=1, modeled_seconds=1e-9))
+        for width in (1, 7, 40):
+            lines = rc.render_timeline(width=width).splitlines()
+            assert max(line.count("#") for line in lines) <= width
+            # The minnow still gets one visible tick.
+            assert lines[1].count("#") == 1
+
+    def test_empty_run(self):
+        assert RunCounters().render_timeline() == "(no launches)"

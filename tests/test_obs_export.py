@@ -1,0 +1,88 @@
+"""Exporter tests: Chrome-trace JSON schema and NDJSON span logs."""
+
+import json
+
+from repro.core.eclmst import ecl_mst
+from repro.obs import (
+    Tracer,
+    chrome_trace_events,
+    to_chrome_trace_json,
+    to_ndjson,
+    write_chrome_trace,
+    write_ndjson,
+)
+
+
+def _traced(graph):
+    tr = Tracer()
+    result = ecl_mst(graph, tracer=tr)
+    return tr, result
+
+
+class TestChromeTrace:
+    def test_schema(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        events = json.loads(to_chrome_trace_json(tr))
+        assert isinstance(events, list) and events
+        for e in events:
+            assert {"name", "ph", "ts", "dur", "pid", "tid", "cat"} <= set(e)
+            assert e["ph"] == "X"
+            assert isinstance(e["ts"], (int, float)) and e["ts"] >= 0
+            assert e["dur"] >= 0
+            assert isinstance(e["args"], dict)
+
+    def test_modeled_microsecond_timebase(self, medium_graph):
+        tr, result = _traced(medium_graph)
+        events = chrome_trace_events(tr)
+        kernel_events = [e for e in events if e["cat"] == "kernel"]
+        total_us = sum(e["dur"] for e in kernel_events)
+        assert abs(total_us - result.counters.total_seconds * 1e6) < 1e-3
+        # Kernel events are laid out sequentially on the modeled clock.
+        for prev, cur in zip(kernel_events, kernel_events[1:]):
+            assert cur["ts"] >= prev["ts"] - 1e-9
+
+    def test_events_carry_span_kinds(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        cats = {e["cat"] for e in chrome_trace_events(tr)}
+        assert {"run", "phase", "round", "kernel"} <= cats
+
+    def test_args_json_safe(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        text = to_chrome_trace_json(tr)
+        json.loads(text)  # numpy scalars etc. must have been coerced
+
+    def test_write_file(self, medium_graph, tmp_path):
+        tr, _ = _traced(medium_graph)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tr, str(path))
+        assert isinstance(json.loads(path.read_text()), list)
+
+
+class TestNdjson:
+    def test_one_record_per_span(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        lines = to_ndjson(tr).strip().splitlines()
+        assert len(lines) == len(tr.spans())
+        records = [json.loads(line) for line in lines]
+        for rec in records:
+            assert {"name", "kind", "id", "parent_id", "depth"} <= set(rec)
+
+    def test_lineage_reconstructible(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        records = [json.loads(l) for l in to_ndjson(tr).strip().splitlines()]
+        by_id = {r["id"]: r for r in records}
+        for rec in records:
+            if rec["parent_id"] is None:
+                assert rec["depth"] == 0
+            else:
+                assert by_id[rec["parent_id"]]["depth"] == rec["depth"] - 1
+
+    def test_empty_tracer(self):
+        assert to_ndjson(Tracer()) == ""
+        assert json.loads(to_chrome_trace_json(Tracer())) == []
+
+    def test_write_file(self, medium_graph, tmp_path):
+        tr, _ = _traced(medium_graph)
+        path = tmp_path / "spans.ndjson"
+        write_ndjson(tr, str(path))
+        assert path.read_text().endswith("\n")

@@ -50,3 +50,36 @@ class TestRoundLog:
     def test_topology_mode_has_no_log(self, medium_graph):
         r = ecl_mst(medium_graph, EclMstConfig(data_driven=False))
         assert r.extra["round_log"] == []
+
+
+class TestRoundStatsTyped:
+    """The typed promotion of round_log (RoundStats + deprecated alias)."""
+
+    def test_round_stats_field_aliases_round_log(self, medium_graph):
+        from repro.core.result import RoundStats
+
+        r = ecl_mst(medium_graph)
+        assert r.round_stats is r.extra["round_log"]
+        assert all(isinstance(rs, RoundStats) for rs in r.round_stats)
+
+    def test_attribute_and_mapping_access_agree(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        for rs in r.round_stats:
+            assert rs.entries == rs["entries"]
+            assert rs.survivors == rs["survivors"]
+            assert rs.added == rs["added"]
+            assert dict(rs) == rs.to_dict()
+
+    def test_unknown_key_raises(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        if r.round_stats:
+            import pytest
+
+            with pytest.raises(KeyError):
+                r.round_stats[0]["nope"]
+
+    def test_shrink_rate(self):
+        from repro.core.result import RoundStats
+
+        assert RoundStats(entries=10, survivors=4, added=3).shrink_rate == 0.4
+        assert RoundStats(entries=0, survivors=0, added=0).shrink_rate == 0.0
