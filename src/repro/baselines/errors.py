@@ -1,13 +1,12 @@
-"""Baseline-specific error types."""
+"""Baseline-specific error types.
+
+Deprecated location: the exception now lives in the shared
+:mod:`repro.errors` taxonomy; this module re-exports it so existing
+imports keep working.
+"""
 
 from __future__ import annotations
 
+from ..errors import NotConnectedError
+
 __all__ = ["NotConnectedError"]
-
-
-class NotConnectedError(ValueError):
-    """Input has multiple connected components but the code is MST-only.
-
-    The paper reports these cells as "NC": the Jucele and Gunrock codes
-    can compute MSTs but not MSFs (Section 4).
-    """

@@ -14,9 +14,14 @@ Subcommands::
     repro-mst mst <graphfile> [--out edges.txt]   # MSF of a graph file
     repro-mst trace <input> [--format chrome|ndjson] [--out FILE]
     repro-mst profile <input> [--baseline FILE] [--format json|chrome|ndjson]
+    repro-mst chaos <input> [--faults N --seed S]  # fault-injection campaign
 
 For backwards compatibility, a bare experiment key also works:
 ``python -m repro table4`` ≡ ``python -m repro exp table4``.
+
+Exit codes: 0 success; 1 not-connected / campaign failure; 2 usage;
+3 malformed input (:class:`~repro.errors.GraphFormatError`);
+4 verification failure; 5 unrecovered device fault.
 """
 
 from __future__ import annotations
@@ -263,6 +268,39 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .resilience import ResilienceConfig, run_campaign
+    from .resilience.faults import FAULT_KINDS
+
+    kinds = FAULT_KINDS
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        unknown = set(kinds) - set(FAULT_KINDS)
+        if unknown:
+            print(
+                f"unknown fault kind(s) {', '.join(sorted(unknown))}; "
+                f"choose from {', '.join(FAULT_KINDS)}",
+                file=sys.stderr,
+            )
+            return 2
+    g = _resolve_input(args.input, args.scale)
+    resilience = ResilienceConfig(check_cadence=args.cadence)
+    progress = (
+        (lambda line: print(line, file=sys.stderr)) if args.verbose else None
+    )
+    report = run_campaign(
+        g,
+        n_faults=args.faults,
+        seed=args.seed,
+        kinds=kinds,
+        faults_per_trial=args.faults_per_trial,
+        resilience=resilience,
+        progress=progress,
+    )
+    print(report.render())
+    return 0 if report.escaped == 0 else 1
+
+
 def _cmd_mst(args) -> int:
     from .core.eclmst import ecl_mst
 
@@ -335,6 +373,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_mst.add_argument("--verify", action="store_true")
     p_mst.set_defaults(fn=_cmd_mst)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign against ECL-MST",
+    )
+    p_chaos.add_argument("input", help="suite input name or graph file path")
+    p_chaos.add_argument(
+        "--faults", type=int, default=100, help="faults to inject (min)"
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--kinds", help="comma-separated fault models (default: all)"
+    )
+    p_chaos.add_argument(
+        "--faults-per-trial", type=int, default=1, dest="faults_per_trial"
+    )
+    p_chaos.add_argument(
+        "--cadence",
+        type=int,
+        default=1,
+        help="rounds between invariant sweeps (0 = off)",
+    )
+    p_chaos.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_chaos.add_argument(
+        "-v", "--verbose", action="store_true", help="per-trial progress"
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
     def _obs_common(p) -> None:
         p.add_argument(
             "input", help="suite input name or graph file path"
@@ -394,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
         "report",
         "trace",
         "profile",
+        "chaos",
     }
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["exp", *argv]
@@ -402,7 +468,28 @@ def main(argv: list[str] | None = None) -> int:
     if not getattr(args, "fn", None):
         parser.print_help()
         return 2
-    return args.fn(args)
+    from .errors import (
+        EXIT_INPUT_ERROR,
+        EXIT_UNRECOVERED_FAULT,
+        EXIT_VERIFY_FAILED,
+        DeviceFault,
+        GraphFormatError,
+        InvariantViolation,
+        UnrecoveredFaultError,
+        VerificationError,
+    )
+
+    try:
+        return args.fn(args)
+    except GraphFormatError as exc:
+        print(f"input error: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    except VerificationError as exc:
+        print(f"verification failed: {exc}", file=sys.stderr)
+        return EXIT_VERIFY_FAILED
+    except (DeviceFault, InvariantViolation, UnrecoveredFaultError) as exc:
+        print(f"unrecovered fault: {exc}", file=sys.stderr)
+        return EXIT_UNRECOVERED_FAULT
 
 
 if __name__ == "__main__":  # pragma: no cover

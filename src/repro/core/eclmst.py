@@ -5,6 +5,12 @@ populate + the Alg.-2 while loop; with filtering, phase 1 under the
 sampled weight bound, then a second populate with the condition
 inverted and endpoints rewritten to representatives (the filter), then
 phase 2.  Also provides the topology-driven loop used by the ablation.
+
+Resilience (optional, zero-overhead when off): passing a
+:class:`~repro.resilience.recovery.ResilienceConfig` wraps every round
+in checkpoint/invariant-check/rollback protection, and passing a
+:class:`~repro.resilience.faults.FaultPlan` arms the simulated device
+with deterministic transient faults — see :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ def _run_data_driven_loop(
     state: MstState,
     weight_of_edge: np.ndarray,
     round_log: list[RoundStats] | None = None,
+    guard=None,
 ) -> int:
     """The Alg.-2 while loop; returns the number of rounds executed."""
     tracer = state.device.tracer
@@ -49,25 +56,34 @@ def _run_data_driven_loop(
     while len(state.wl.front):
         rounds += 1
         entries = len(state.wl.front)
-        with tracer.span(f"round {rounds}", kind="round", entries=entries):
-            survivors = kernel1_reserve(state)
-            state.wl.swap()
-            # The while condition is a worklist-size flag copied back to
-            # the host — one round trip per round (bounded by O(log |V|)).
-            state.device.host_sync()
-            added = 0
-            if len(state.wl.front):
-                added = kernel2_union(state)
-                kernel3_reset(state)
-            stats = RoundStats(entries=entries, survivors=survivors, added=added)
-            tracer.annotate(survivors=survivors, added=added)
+
+        def body(rounds=rounds, entries=entries):
+            with tracer.span(f"round {rounds}", kind="round", entries=entries):
+                survivors = kernel1_reserve(state)
+                state.wl.swap()
+                # The while condition is a worklist-size flag copied back
+                # to the host — one round trip per round (bounded by
+                # O(log |V|)).
+                state.device.host_sync()
+                added = 0
+                if len(state.wl.front):
+                    added = kernel2_union(state)
+                    kernel3_reset(state)
+                tracer.annotate(survivors=survivors, added=added)
+            return RoundStats(entries=entries, survivors=survivors, added=added)
+
+        stats = body() if guard is None else guard.run_round(state, body, rounds)
         if round_log is not None:
             round_log.append(stats)
     return rounds
 
 
 def _run_topology_driven_loop(
-    state: MstState, threshold: int | None, phase: int, weight_of_edge: np.ndarray
+    state: MstState,
+    threshold: int | None,
+    phase: int,
+    weight_of_edge: np.ndarray,
+    guard=None,
 ) -> int:
     """De-optimized loop: every round rescans all candidate edges.
 
@@ -91,23 +107,32 @@ def _run_topology_driven_loop(
     rounds = 0
     while True:
         rounds += 1
-        with tracer.span(
-            f"round {rounds}", kind="round", entries=len(all_entries)
-        ):
-            state.wl.fill_front(all_entries)
-            survivors = kernel1_reserve(state)
-            # Topology-driven k1 does not build a worklist; the swap is a
-            # no-op structurally, but the reservations are in minEdge.
-            state.wl.swap()
-            state.wl.front = all_entries  # k2/k3 rescan everything
-            state.device.host_sync()  # did-anything-change flag
-            tracer.annotate(survivors=survivors)
-            if survivors == 0:
-                # Matches the data-driven launch count: the loop only
-                # learns it is done from an empty reservation round.
-                break
-            kernel2_union(state)
-            kernel3_reset(state)
+
+        def body(rounds=rounds):
+            with tracer.span(
+                f"round {rounds}", kind="round", entries=len(all_entries)
+            ):
+                state.wl.fill_front(all_entries)
+                survivors = kernel1_reserve(state)
+                # Topology-driven k1 does not build a worklist; the swap
+                # is a no-op structurally, but the reservations are in
+                # minEdge.
+                state.wl.swap()
+                state.wl.front = all_entries  # k2/k3 rescan everything
+                state.device.host_sync()  # did-anything-change flag
+                tracer.annotate(survivors=survivors)
+                if survivors:
+                    kernel2_union(state)
+                    kernel3_reset(state)
+            return survivors
+
+        survivors = (
+            body() if guard is None else guard.run_round(state, body, rounds)
+        )
+        if survivors == 0:
+            # Matches the data-driven launch count: the loop only
+            # learns it is done from an empty reservation round.
+            break
     state.wl.front = type(all_entries).empty()
     return rounds
 
@@ -119,6 +144,8 @@ def ecl_mst(
     gpu: GPUSpec = RTX_3080_TI,
     verify: bool = False,
     tracer=None,
+    resilience=None,
+    fault_plan=None,
 ) -> MstResult:
     """Compute the MSF of ``graph`` with ECL-MST on the simulated GPU.
 
@@ -141,21 +168,104 @@ def ecl_mst(
         ``run > phase > round > kernel`` spans.  ``None`` (the default)
         traces nothing and adds no overhead; tracing never changes the
         computed MSF or the modeled counters.
+    resilience:
+        Optional :class:`~repro.resilience.recovery.ResilienceConfig`
+        enabling per-round checkpointing, online invariant checks, and
+        the rollback → phase-restart → serial-fallback recovery ladder.
+        ``None`` (the default) — and any config with checking off on a
+        fault-free run — leaves results and counters bit-identical.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` of seeded
+        deterministic transient faults for the device to inject
+        (chaos/robustness testing).
 
     Returns
     -------
     MstResult
-        With per-kernel counters and modeled computation time.
+        With per-kernel counters and modeled computation time.  After a
+        recovery fallback, ``algorithm`` is tagged
+        ``"ecl-mst+serial-fallback"`` and ``extra["resilience"]``
+        records the ladder's actions.
     """
     config = config or EclMstConfig()
     tracer = tracer if tracer is not None else NULL_TRACER
-    device = Device(gpu, tracer=tracer)
+    injector = None
+    if fault_plan is not None:
+        from ..resilience.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan)
+    device = Device(gpu, tracer=tracer, fault_injector=injector)
     state = MstState.create(graph, config, device)
+    if injector is not None:
+        injector.bind_state(state)
     weight_of_edge = _edge_weight_table(graph)
+
+    guard = None
+    if resilience is not None:
+        from ..resilience.recovery import RoundGuard
+
+        guard = RoundGuard(
+            resilience,
+            tracer=tracer,
+            reference_mask=getattr(resilience, "_reference_mask", None),
+        )
+        guard.bind(state, weight_of_edge)
+        device.probe = guard
+
     plan = plan_filtering(graph, config)
     round_log: list[RoundStats] = []
+    rounds_total = 0
 
-    rounds = 0
+    def _run_phase(threshold: int | None, phase_no: int) -> int:
+        kernel_init_populate(state, threshold, phase=phase_no)
+        if config.data_driven:
+            return _run_data_driven_loop(
+                state, weight_of_edge, round_log, guard=guard
+            )
+        return _run_topology_driven_loop(
+            state, threshold, phase_no, weight_of_edge, guard=guard
+        )
+
+    def _guarded_phase(label: str, threshold: int | None, phase_no: int) -> int:
+        """One phase under the recovery ladder's rung 2 (restart with
+        invariants forced on) and rung 3 (serial fallback)."""
+        if guard is None:
+            return _run_phase(threshold, phase_no)
+        from ..resilience.checkpoint import Checkpoint
+        from ..resilience.recovery import (
+            PhaseRestartRequired,
+            SerialFallbackRequired,
+        )
+
+        def _escalation(exc) -> bool:
+            # Faults surfacing here escaped the per-round guard (e.g. a
+            # fault during the populate launch) — treat them as an
+            # immediate phase-restart trigger.
+            if isinstance(exc, PhaseRestartRequired):
+                return True
+            if guard.handles(exc):
+                guard.note_phase_fault(exc)
+                return True
+            return False
+
+        cp = Checkpoint.capture(state)
+        log_mark = len(round_log)
+        try:
+            return _run_phase(threshold, phase_no)
+        except Exception as exc:
+            if not _escalation(exc):
+                raise
+            guard.note_phase_restart(label)
+            cp.restore(state)
+            del round_log[log_mark:]
+            try:
+                return _run_phase(threshold, phase_no)
+            except Exception as exc2:
+                if not _escalation(exc2):
+                    raise
+                raise SerialFallbackRequired from exc2
+
+    fell_through = False
     with tracer.span(
         f"ecl-mst on {graph.name}",
         kind="run",
@@ -165,45 +275,45 @@ def ecl_mst(
         edges=graph.num_edges,
         filtering=plan.active,
     ):
-        if plan.active:
-            with tracer.span(
-                "phase 1", kind="phase", threshold=plan.threshold
-            ):
-                kernel_init_populate(state, plan.threshold, phase=1)
-                if config.data_driven:
-                    rounds += _run_data_driven_loop(
-                        state, weight_of_edge, round_log
+        try:
+            if plan.active:
+                with tracer.span(
+                    "phase 1", kind="phase", threshold=plan.threshold
+                ):
+                    rounds_total += _guarded_phase(
+                        "phase 1", plan.threshold, 1
                     )
-                else:
-                    rounds += _run_topology_driven_loop(
-                        state, plan.threshold, 1, weight_of_edge
+                with tracer.span(
+                    "phase 2", kind="phase", threshold=plan.threshold
+                ):
+                    rounds_total += _guarded_phase(
+                        "phase 2", plan.threshold, 2
                     )
-            with tracer.span(
-                "phase 2", kind="phase", threshold=plan.threshold
-            ):
-                kernel_init_populate(state, plan.threshold, phase=2)
-                if config.data_driven:
-                    rounds += _run_data_driven_loop(
-                        state, weight_of_edge, round_log
-                    )
-                else:
-                    rounds += _run_topology_driven_loop(
-                        state, plan.threshold, 2, weight_of_edge
-                    )
-        else:
-            with tracer.span("main phase", kind="phase"):
-                kernel_init_populate(state, None, phase=0)
-                if config.data_driven:
-                    rounds += _run_data_driven_loop(
-                        state, weight_of_edge, round_log
-                    )
-                else:
-                    rounds += _run_topology_driven_loop(
-                        state, None, 0, weight_of_edge
-                    )
-        tracer.annotate(rounds=rounds)
+            else:
+                with tracer.span("main phase", kind="phase"):
+                    rounds_total += _guarded_phase("main phase", None, 0)
+        except Exception as exc:
+            from ..resilience.recovery import SerialFallbackRequired
+
+            if guard is not None and isinstance(exc, SerialFallbackRequired):
+                fell_through = True
+            else:
+                raise
+        tracer.annotate(rounds=rounds_total)
 
     sel = state.in_mst
+    algorithm = "ecl-mst"
+    degraded = False
+    if guard is not None:
+        sel, degraded = guard.finalize(graph, sel, fell_through)
+        if degraded:
+            algorithm = "ecl-mst+serial-fallback"
+        if tracer.enabled:
+            tracer.roots[-1].annotate(
+                resilience_detected=guard.stats.detected,
+                resilience_fallback=degraded,
+            )
+
     total_weight = int(weight_of_edge[sel].sum()) if sel.any() else 0
     # Host<->device traffic for the "memcpy" rows: CSR down, edge mask up.
     graph_bytes = (
@@ -212,19 +322,29 @@ def ecl_mst(
     result_bytes = float(graph.num_edges)
     memcpy = device.memcpy_seconds(graph_bytes) + device.memcpy_seconds(result_bytes)
 
+    extra: dict = {
+        "filter_plan": plan,
+        "config": config,
+        "round_log": round_log,
+    }
+    if guard is not None:
+        extra["resilience"] = guard.stats.to_dict()
+    if injector is not None:
+        extra["fault_injection"] = injector.summary()
+
     result = MstResult(
         graph=graph,
         in_mst=sel.copy(),
         total_weight=total_weight,
         num_mst_edges=int(np.count_nonzero(sel)),
-        rounds=rounds,
+        rounds=rounds_total,
         modeled_seconds=device.elapsed_seconds,
         counters=device.counters,
         memcpy_seconds=memcpy,
-        algorithm="ecl-mst",
+        algorithm=algorithm,
         # ``round_log`` is the deprecated alias of ``round_stats``:
         # same RoundStats records (dict-style access still works).
-        extra={"filter_plan": plan, "config": config, "round_log": round_log},
+        extra=extra,
         round_stats=round_log,
     )
     if verify:

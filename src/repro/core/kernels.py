@@ -258,8 +258,13 @@ def kernel1_reserve(state: MstState) -> int:
         state.wl.append_back(new_entries)
 
     val = pack_keys(wc, ec)
-    ex_p, sk_p = atomic_min_u64(state.min_edge, pc, val, guarded=cfg.atomic_guards)
-    ex_q, sk_q = atomic_min_u64(state.min_edge, qc, val, guarded=cfg.atomic_guards)
+    inj = dev.fault_injector
+    ex_p, sk_p = atomic_min_u64(
+        state.min_edge, pc, val, guarded=cfg.atomic_guards, injector=inj
+    )
+    ex_q, sk_q = atomic_min_u64(
+        state.min_edge, qc, val, guarded=cfg.atomic_guards, injector=inj
+    )
     executed, skipped = ex_p + ex_q, sk_p + sk_q
 
     # Same-address serialization: the hottest minEdge slot.  With
@@ -329,6 +334,16 @@ def _find_root(parent: np.ndarray, x: int) -> tuple[int, int]:
     while parent[x] != x:
         x = int(parent[x])
         loads += 1
+        if loads > parent.size + 1:
+            # Only corrupted parent pointers can cycle; surface a typed
+            # violation the recovery ladder understands.
+            from ..errors import InvariantViolation
+
+            raise InvariantViolation(
+                "parent-pointer cycle detected during union find",
+                invariant="parent-acyclic",
+                kernel="k2_union",
+            )
     return x, loads
 
 

@@ -11,15 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import VerificationError
 from ..graph.csr import CSRGraph
 from ..gpusim.atomics import pack_keys
 from .result import MstResult
 
 __all__ = ["reference_mst_mask", "verify_mst", "VerificationError"]
-
-
-class VerificationError(AssertionError):
-    """Raised when a result disagrees with the serial reference."""
 
 
 def reference_mst_mask(graph: CSRGraph) -> np.ndarray:

@@ -14,7 +14,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import InvariantViolation
+
 __all__ = ["find_many", "compress_halving_many"]
+
+
+def _cycle(kernel: str) -> InvariantViolation:
+    # A healthy union-find is acyclic by construction; only corrupted
+    # parent pointers (fault injection) can spin a find loop past the
+    # vertex count.  Typed so the recovery ladder can catch it.
+    return InvariantViolation(
+        "parent-pointer cycle detected during find (corrupted state)",
+        invariant="parent-acyclic",
+        kernel=kernel,
+    )
 
 
 def find_many(parent: np.ndarray, xs: np.ndarray) -> tuple[np.ndarray, int]:
@@ -29,12 +42,16 @@ def find_many(parent: np.ndarray, xs: np.ndarray) -> tuple[np.ndarray, int]:
     if cur.size == 0:
         return cur, 0
     loads = cur.size  # every lane loads parent[v] at least once
+    hops = 0
     while True:
         nxt = parent[cur]
         moving = nxt != cur
         n_moving = int(np.count_nonzero(moving))
         if n_moving == 0:
             return cur, loads
+        hops += 1
+        if hops > parent.size + 1:
+            raise _cycle("find_many")
         loads += n_moving
         # Only advance lanes that have not reached their root.
         cur[moving] = nxt[moving]
@@ -60,12 +77,16 @@ def compress_halving_many(
     cur = xs.copy()
     loads = cur.size
     writes = 0
+    hops = 0
     while True:
         nxt = parent[cur]
         moving = nxt != cur
         n_moving = int(np.count_nonzero(moving))
         if n_moving == 0:
             return cur, loads, writes
+        hops += 1
+        if hops > parent.size + 1:
+            raise _cycle("compress_halving_many")
         grand = parent[nxt[moving]]
         loads += 2 * n_moving  # parent[v] and parent[parent[v]]
         changed = grand != nxt[moving]

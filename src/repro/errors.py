@@ -1,0 +1,113 @@
+"""Shared error taxonomy for the whole package.
+
+One module, no dependencies, imported from everywhere: input problems,
+verification failures, and substrate faults are distinct exception
+families so callers (and the CLI's exit codes) can tell them apart.
+
+Hierarchy::
+
+    ReproError
+    ├── GraphFormatError      (also ValueError)    — malformed input files
+    ├── NotConnectedError     (also ValueError)    — MST-only code, MSF input
+    ├── VerificationError     (also AssertionError) — result != serial Kruskal
+    ├── DeviceFault           (also RuntimeError)  — simulated hardware fault
+    ├── InvariantViolation    (also AssertionError) — online check tripped
+    └── UnrecoveredFaultError (also RuntimeError)  — recovery ladder exhausted
+
+The CLI maps the families onto distinct nonzero exit codes
+(:data:`EXIT_INPUT_ERROR`, :data:`EXIT_VERIFY_FAILED`,
+:data:`EXIT_UNRECOVERED_FAULT`); ``2`` stays argparse's usage-error
+code and ``1`` the generic failure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "NotConnectedError",
+    "VerificationError",
+    "DeviceFault",
+    "InvariantViolation",
+    "UnrecoveredFaultError",
+    "EXIT_INPUT_ERROR",
+    "EXIT_VERIFY_FAILED",
+    "EXIT_UNRECOVERED_FAULT",
+]
+
+EXIT_INPUT_ERROR = 3
+EXIT_VERIFY_FAILED = 4
+EXIT_UNRECOVERED_FAULT = 5
+
+
+class ReproError(Exception):
+    """Base class of every error this package raises deliberately."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An input graph file or edge array is malformed.
+
+    Raised with enough context to find the problem (path, line number,
+    offending value) instead of letting numpy produce garbage arrays or
+    an IndexError deep inside CSR construction.
+    """
+
+
+class NotConnectedError(ReproError, ValueError):
+    """Input has multiple connected components but the code is MST-only.
+
+    The paper reports these cells as "NC": the Jucele and Gunrock codes
+    can compute MSTs but not MSFs (Section 4).
+    """
+
+
+class VerificationError(ReproError, AssertionError):
+    """Raised when a result disagrees with the serial Kruskal reference."""
+
+
+class DeviceFault(ReproError, RuntimeError):
+    """A simulated transient hardware fault surfaced by the substrate.
+
+    Carries where it happened so recovery can report it: the kernel
+    being launched, the global launch index, and the fault kind.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: str = "?",
+        launch_index: int = -1,
+        kind: str = "unknown",
+    ) -> None:
+        super().__init__(message)
+        self.kernel = kernel
+        self.launch_index = launch_index
+        self.kind = kind
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """An online invariant check found corrupted solver state.
+
+    ``invariant`` names the check that tripped, ``round_index`` the
+    Alg.-2 round and ``kernel`` the launch (or ``"round-end"``) where
+    it was detected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "?",
+        round_index: int = -1,
+        kernel: str = "round-end",
+    ) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.round_index = round_index
+        self.kernel = kernel
+
+
+class UnrecoveredFaultError(ReproError, RuntimeError):
+    """The whole recovery ladder (retry, phase restart, fallback) failed
+    or was disabled while a fault remained detected."""

@@ -59,6 +59,7 @@ def atomic_min_u64(
     keys: np.ndarray,
     *,
     guarded: bool = True,
+    injector=None,
 ) -> tuple[int, int]:
     """Concurrent ``atomicMin(target[idx], keys)`` over all lanes.
 
@@ -72,9 +73,16 @@ def atomic_min_u64(
     it holds a new running minimum).  We update the array exactly
     (``np.minimum.at``) and report that expected executed count — the
     quantity the "No Atomic Guards" ablation changes.
+
+    ``injector`` is an optional
+    :class:`~repro.resilience.faults.FaultInjector`; when present it may
+    drop, duplicate, or permute the lanes of this atomic batch to model
+    lost/double-applied updates and adversarial warp schedules.
     """
     idx = np.asarray(idx)
     keys = np.asarray(keys, dtype=np.uint64)
+    if injector is not None:
+        idx, keys = injector.perturb_atomics(idx, keys)
     if keys.size == 0:
         return 0, 0
     if guarded:

@@ -76,10 +76,16 @@ class Device:
     accumulates modeled elapsed time.
     """
 
-    def __init__(self, spec: GPUSpec, tracer=None) -> None:
+    def __init__(self, spec: GPUSpec, tracer=None, fault_injector=None) -> None:
         self.spec = spec
         self.counters = RunCounters()
         self.tracer = NULL_TRACER
+        # Resilience hooks: an optional FaultInjector consulted at every
+        # launch (may corrupt bound state or raise DeviceFault), and an
+        # optional probe running per-kernel invariant checks.  Both are
+        # None by default so the fault-free hot path is unchanged.
+        self.fault_injector = fault_injector
+        self.probe = None
         # Incremental modeled clock for the tracer only (avoids the
         # O(launches) re-summation of ``counters.total_seconds`` per
         # launch); reporting still uses the counters as ground truth.
@@ -106,6 +112,14 @@ class Device:
         critical_items: int = 0,
         find_jumps: int = 0,
     ) -> KernelCounters:
+        if self.fault_injector is not None:
+            # May flip bits in bound solver state or raise DeviceFault
+            # (a failed launch) — the recovery layer handles both.
+            self.fault_injector.on_launch(name)
+        if self.probe is not None:
+            # Per-kernel invariant checks (forced-checking degraded
+            # mode); raises InvariantViolation on corrupted state.
+            self.probe.on_kernel(name)
         k = KernelCounters(
             name=name,
             items=int(items),

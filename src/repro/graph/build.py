@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .csr import CSRGraph, EDGE_ID_DTYPE, INDEX_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE
+from .weights import check_weight_bound
 
 __all__ = ["build_csr", "from_edge_arrays", "empty_graph"]
 
@@ -119,6 +120,7 @@ def from_edge_arrays(
     hi = np.asarray(hi, dtype=np.int64)
     w = np.asarray(w, dtype=np.int64)
     m = lo.size
+    check_weight_bound(w, lo, hi, name=name)
 
     # Assign edge IDs in (lo, hi) lexicographic order for determinism.
     order = np.lexsort((hi, lo))

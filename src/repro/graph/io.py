@@ -23,12 +23,25 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import GraphFormatError
 from .build import build_csr
 from .csr import CSRGraph
+from .weights import WEIGHT_BOUND
 
 __all__ = ["save_ecl", "load_ecl", "save_edge_list", "load_edge_list"]
 
 _MAGIC = b"ECLG\x01\x00"
+
+
+def _read_exact(f, nbytes: int, path, what: str) -> bytes:
+    """Read exactly ``nbytes`` or raise a typed truncation error."""
+    data = f.read(nbytes)
+    if len(data) != nbytes:
+        raise GraphFormatError(
+            f"{path}: truncated {what} (expected {nbytes} bytes, "
+            f"got {len(data)})"
+        )
+    return data
 
 
 def save_ecl(graph: CSRGraph, path: str | os.PathLike) -> None:
@@ -56,15 +69,41 @@ def load_ecl(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
     with open(path, "rb") as f:
         magic = f.read(len(_MAGIC))
         if magic != _MAGIC:
-            raise ValueError(f"{path}: not an ECL graph file")
-        header = np.frombuffer(f.read(24), dtype="<i8")
+            raise GraphFormatError(f"{path}: not an ECL graph file (bad magic)")
+        header = np.frombuffer(_read_exact(f, 24, path, "header"), dtype="<i8")
         n, m, has_weights = (int(x) for x in header)
-        row_ptr = np.frombuffer(f.read(8 * (n + 1)), dtype="<i8")
-        col_idx = np.frombuffer(f.read(4 * m), dtype="<i4")
+        if n < 0 or m < 0:
+            raise GraphFormatError(
+                f"{path}: negative counts in header "
+                f"(num_vertices={n}, num_directed_edges={m})"
+            )
+        if has_weights not in (0, 1):
+            raise GraphFormatError(
+                f"{path}: has_weights flag must be 0 or 1, got {has_weights}"
+            )
+        row_ptr = np.frombuffer(
+            _read_exact(f, 8 * (n + 1), path, "row_ptr array"), dtype="<i8"
+        )
+        col_idx = np.frombuffer(
+            _read_exact(f, 4 * m, path, "col_idx array"), dtype="<i4"
+        )
         if has_weights:
-            weights = np.frombuffer(f.read(4 * m), dtype="<i4")
+            weights = np.frombuffer(
+                _read_exact(f, 4 * m, path, "weights array"), dtype="<i4"
+            )
         else:
             weights = np.ones(m, dtype="<i4")
+    if n and (row_ptr[0] != 0 or int(row_ptr[-1]) != m):
+        raise GraphFormatError(
+            f"{path}: inconsistent row pointers (first={int(row_ptr[0])}, "
+            f"last={int(row_ptr[-1])}, expected 0 and {m})"
+        )
+    if np.any(np.diff(row_ptr) < 0):
+        raise GraphFormatError(f"{path}: row pointers are not non-decreasing")
+    if m and (int(col_idx.min()) < 0 or int(col_idx.max()) >= n):
+        raise GraphFormatError(
+            f"{path}: adjacency index out of range [0, {n})"
+        )
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(row_ptr))
     mask = src < col_idx
     return build_csr(
@@ -98,19 +137,47 @@ def load_edge_list(
     """
     if isinstance(path, io.TextIOBase):
         lines = path.read().splitlines()
+        where = name
     else:
         lines = Path(path).read_text().splitlines()
+        where = str(path)
     us: list[int] = []
     vs: list[int] = []
     ws: list[int] = []
-    for line in lines:
+    for lineno, line in enumerate(lines, 1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
         parts = line.split()
-        us.append(int(parts[0]))
-        vs.append(int(parts[1]))
-        ws.append(int(parts[2]) if len(parts) > 2 else 1)
+        if len(parts) < 2:
+            raise GraphFormatError(
+                f"{where}:{lineno}: expected 'u v [w]', got {line!r}"
+            )
+        try:
+            uu, vv = int(parts[0]), int(parts[1])
+            ww = int(parts[2]) if len(parts) > 2 else 1
+        except ValueError:
+            raise GraphFormatError(
+                f"{where}:{lineno}: non-integer token in {line!r}"
+            ) from None
+        if uu < 0 or vv < 0:
+            raise GraphFormatError(
+                f"{where}:{lineno}: negative vertex ID in {line!r}"
+            )
+        if ww < 0:
+            raise GraphFormatError(
+                f"{where}:{lineno}: negative edge weight {ww} "
+                "(MST weights must be non-negative integers)"
+            )
+        if ww >= WEIGHT_BOUND:
+            raise GraphFormatError(
+                f"{where}:{lineno}: edge weight {ww} does not fit the "
+                f"31-bit packed weight:edge-ID atomic key (max "
+                f"{WEIGHT_BOUND - 1}); rescale or quantize the weights"
+            )
+        us.append(uu)
+        vs.append(vv)
+        ws.append(ww)
     u = np.asarray(us, dtype=np.int64)
     v = np.asarray(vs, dtype=np.int64)
     w = np.asarray(ws, dtype=np.int64)

@@ -12,13 +12,63 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import GraphFormatError
 from .csr import CSRGraph, WEIGHT_DTYPE
 
-__all__ = ["hash_weight", "quantize_weights", "randomize_weights", "MAX_WEIGHT"]
+__all__ = [
+    "hash_weight",
+    "quantize_weights",
+    "randomize_weights",
+    "check_weight_bound",
+    "MAX_WEIGHT",
+    "WEIGHT_BOUND",
+]
 
 # Weights must fit the upper 32 bits of the packed ``weight:id`` atomic
 # key with room for the +infinity sentinel, so keep them well below 2^31.
 MAX_WEIGHT = 1 << 20
+
+# Hard limit of the packed key: ``pack_keys`` rejects weights >= 2^31,
+# so graph construction rejects them up front with context.
+WEIGHT_BOUND = 1 << 31
+
+
+def check_weight_bound(
+    w: np.ndarray,
+    lo: np.ndarray | None = None,
+    hi: np.ndarray | None = None,
+    *,
+    name: str = "graph",
+) -> None:
+    """Reject weights the 64-bit ``weight:edge-ID`` atomic key cannot hold.
+
+    Called at CSR construction time so oversized (or negative) weights
+    fail at load with the offending edge named, instead of surfacing as
+    a ``pack_keys`` ValueError mid-kernel.
+    """
+    if w.size == 0:
+        return
+    bad = int(w.argmax()) if int(w.max()) >= WEIGHT_BOUND else (
+        int(w.argmin()) if int(w.min()) < 0 else -1
+    )
+    if bad < 0:
+        return
+    edge = (
+        f"edge ({int(lo[bad])}, {int(hi[bad])})"
+        if lo is not None and hi is not None
+        else f"edge #{bad}"
+    )
+    value = int(w[bad])
+    if value < 0:
+        raise GraphFormatError(
+            f"{name}: {edge} has negative weight {value}; MST weights "
+            "must be non-negative integers"
+        )
+    raise GraphFormatError(
+        f"{name}: {edge} has weight {value}, which does not fit the "
+        f"31-bit field of the packed weight:edge-ID atomic key (max "
+        f"{WEIGHT_BOUND - 1}); rescale or use quantize_weights()"
+    )
 
 
 def hash_weight(

@@ -188,6 +188,30 @@ def collect_result_metrics(result) -> dict[str, float]:
         if entries > 0:
             shrink.observe(survivors / entries)
 
+    # Resilience ladder counters, present only when the run was guarded
+    # (result.extra["resilience"] set by the driver).
+    res = (result.extra or {}).get("resilience")
+    if res:
+        for key in (
+            "checks_run",
+            "invariant_violations",
+            "device_faults",
+            "rollbacks",
+            "retries",
+            "phase_restarts",
+            "verify_detections",
+            "fallbacks",
+            "detected",
+        ):
+            reg.counter(f"resilience.{key}").inc(res.get(key, 0))
+        reg.gauge("resilience.backoff_seconds").set(
+            res.get("backoff_seconds", 0.0)
+        )
+    fi = (result.extra or {}).get("fault_injection")
+    if fi:
+        reg.counter("faults.planned").inc(fi.get("planned", 0))
+        reg.counter("faults.injected").inc(fi.get("injected", 0))
+
     out = reg.as_dict()
     # Per-kernel modeled seconds, flat under "seconds.<kernel>".
     for name, secs in sorted(counters.seconds_by_kernel().items()):

@@ -1,0 +1,51 @@
+"""Fault injection, online invariant checking, and recovery.
+
+The robustness layer of the simulated GPU substrate:
+
+* :mod:`~repro.resilience.faults` — seeded deterministic
+  :class:`FaultPlan`/:class:`FaultInjector` the Device consults to
+  inject transient faults (bit flips, lost/doubled/permuted atomics,
+  failed launches);
+* :mod:`~repro.resilience.invariants` — cheap vectorized online checks
+  over live solver state, raising typed
+  :class:`~repro.errors.InvariantViolation`;
+* :mod:`~repro.resilience.checkpoint` — per-round solver-state
+  snapshots for rollback;
+* :mod:`~repro.resilience.recovery` — the detection/recovery ladder
+  (rollback-and-retry → phase restart with forced checks → serial
+  Kruskal fallback), configured by :class:`ResilienceConfig`;
+* :mod:`~repro.resilience.campaign` — chaos campaigns reporting
+  injected/detected/recovered/escaped counts (``repro-mst chaos``).
+"""
+
+from .campaign import CampaignReport, TrialOutcome, run_campaign
+from .checkpoint import Checkpoint
+from .faults import (
+    ATOMIC_FAULT_KINDS,
+    FAULT_KINDS,
+    LAUNCH_FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from .invariants import KERNEL_INVARIANTS, ROUND_INVARIANTS, InvariantChecker
+from .recovery import ResilienceConfig, ResilienceStats, RoundGuard
+
+__all__ = [
+    "ATOMIC_FAULT_KINDS",
+    "CampaignReport",
+    "Checkpoint",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "KERNEL_INVARIANTS",
+    "LAUNCH_FAULT_KINDS",
+    "ROUND_INVARIANTS",
+    "ResilienceConfig",
+    "ResilienceStats",
+    "RoundGuard",
+    "TrialOutcome",
+    "run_campaign",
+]

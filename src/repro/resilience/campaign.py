@@ -1,0 +1,244 @@
+"""Chaos campaigns: many seeded fault-injected runs, one verdict.
+
+A campaign runs :func:`~repro.core.eclmst.ecl_mst` repeatedly against
+one graph with resilience enabled, injecting a deterministic fault (or
+several) per trial across every fault model, and classifies each trial:
+
+* **benign**    — fault fired but the result still matches the serial
+  Kruskal reference with no detector involvement (e.g. a permuted
+  atomic schedule, or a bit flip in a slot the run never reads again);
+* **recovered** — a detector (device fault, invariant, or end-of-run
+  verify) fired and the returned result matches the reference;
+* **escaped**   — the returned result differs from the reference and
+  *no* detector fired: silent corruption.  The headline metric — it
+  must be zero for the shipped invariant set.
+
+Fault-free dry runs bound the launch/atomic horizons so every planned
+fault lands inside the run, and the reference mask is computed once
+and shared across trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import EclMstConfig
+from ..core.eclmst import ecl_mst
+from ..core.verify import reference_mst_mask
+from ..gpusim.spec import GPUSpec, RTX_3080_TI
+from .faults import FAULT_KINDS, FaultPlan
+from .recovery import ResilienceConfig
+
+__all__ = ["TrialOutcome", "CampaignReport", "run_campaign"]
+
+
+@dataclass
+class TrialOutcome:
+    """Classification of one fault-injected run."""
+
+    trial: int
+    kinds: tuple[str, ...]
+    injected: int
+    detected: int
+    detectors: tuple[str, ...]
+    correct: bool
+    fallback: bool
+    rounds: int
+
+    @property
+    def escaped(self) -> bool:
+        return not self.correct and self.detected == 0
+
+    @property
+    def benign(self) -> bool:
+        return self.correct and self.detected == 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.correct and self.detected > 0
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated verdict of a whole campaign."""
+
+    graph_name: str
+    seed: int
+    trials: list[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return sum(t.injected for t in self.trials)
+
+    @property
+    def detected(self) -> int:
+        return sum(t.detected for t in self.trials)
+
+    @property
+    def recovered(self) -> int:
+        return sum(1 for t in self.trials if t.recovered)
+
+    @property
+    def benign(self) -> int:
+        return sum(1 for t in self.trials if t.benign)
+
+    @property
+    def escaped(self) -> int:
+        return sum(1 for t in self.trials if t.escaped)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for t in self.trials if t.fallback)
+
+    def by_kind(self) -> dict[str, dict[str, int]]:
+        """Per-fault-model injected/recovered/benign/escaped counts."""
+        out: dict[str, dict[str, int]] = {}
+        for t in self.trials:
+            for kind in t.kinds:
+                row = out.setdefault(
+                    kind,
+                    {"trials": 0, "injected": 0, "recovered": 0, "benign": 0, "escaped": 0},
+                )
+                row["trials"] += 1
+                row["injected"] += t.injected
+                row["recovered"] += int(t.recovered)
+                row["benign"] += int(t.benign)
+                row["escaped"] += int(t.escaped)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "seed": self.seed,
+            "trials": len(self.trials),
+            "injected": self.injected,
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "benign": self.benign,
+            "escaped": self.escaped,
+            "fallbacks": self.fallbacks,
+            "by_kind": self.by_kind(),
+        }
+
+    def render(self) -> str:
+        """Human-readable campaign table."""
+        lines = [
+            f"chaos campaign on {self.graph_name} (seed {self.seed}): "
+            f"{len(self.trials)} trials, {self.injected} faults injected",
+            "",
+            f"{'fault model':<18} {'trials':>6} {'injected':>8} "
+            f"{'recovered':>9} {'benign':>6} {'escaped':>7}",
+        ]
+        for kind in sorted(self.by_kind()):
+            row = self.by_kind()[kind]
+            lines.append(
+                f"{kind:<18} {row['trials']:>6} {row['injected']:>8} "
+                f"{row['recovered']:>9} {row['benign']:>6} {row['escaped']:>7}"
+            )
+        lines += [
+            "",
+            f"totals: {self.recovered} recovered, {self.benign} benign, "
+            f"{self.fallbacks} serial fallbacks, {self.escaped} ESCAPED",
+            (
+                "verdict: PASS (no silent corruption escaped)"
+                if self.escaped == 0
+                else "verdict: FAIL (silent corruption escaped detection!)"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_campaign(
+    graph,
+    *,
+    n_faults: int = 100,
+    seed: int = 0,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    faults_per_trial: int = 1,
+    config: EclMstConfig | None = None,
+    resilience: ResilienceConfig | None = None,
+    gpu: GPUSpec = RTX_3080_TI,
+    progress=None,
+) -> CampaignReport:
+    """Inject at least ``n_faults`` faults across seeded trials.
+
+    Trials run until the injected-fault total reaches ``n_faults`` (a
+    planned fault can miss if the faulty run ends earlier than the dry
+    run did), with a hard cap of ``4 * ceil(n_faults /
+    faults_per_trial)`` trials.  ``progress`` is an optional callable
+    receiving one line per trial.
+    """
+    config = config or EclMstConfig()
+    resilience = resilience or ResilienceConfig()
+    reference = reference_mst_mask(graph)
+    # Frozen config: smuggle the precomputed reference past the
+    # constructor so trials don't re-run serial Kruskal each time.
+    object.__setattr__(resilience, "_reference_mask", reference)
+
+    # Fault-free dry run: horizons for the plan generator, plus a
+    # sanity check that the resilient driver agrees with the reference.
+    dry_injector_plan = FaultPlan(seed=seed)
+    dry = ecl_mst(
+        graph, config, gpu=gpu, resilience=resilience, fault_plan=dry_injector_plan
+    )
+    if not np.array_equal(dry.in_mst, reference):
+        raise AssertionError(
+            "fault-free resilient run disagrees with the serial reference"
+        )
+    fi = dry.extra["fault_injection"]
+    launches, atomic_calls = fi["launches_seen"], fi["atomic_calls_seen"]
+
+    report = CampaignReport(graph_name=graph.name, seed=seed)
+    max_trials = 4 * -(-n_faults // faults_per_trial)
+    trial = 0
+    while report.injected < n_faults and trial < max_trials:
+        # Rotate the kind offset per trial so every fault model appears
+        # even at one fault per trial.
+        trial_kinds = tuple(
+            kinds[(trial + j) % len(kinds)] for j in range(faults_per_trial)
+        )
+        plan = FaultPlan.generate(
+            seed=seed * 100_003 + trial,
+            n_faults=faults_per_trial,
+            launches=launches,
+            atomic_calls=atomic_calls,
+            kinds=trial_kinds,
+        )
+        result = ecl_mst(
+            graph, config, gpu=gpu, resilience=resilience, fault_plan=plan
+        )
+        res = result.extra["resilience"]
+        inj = result.extra["fault_injection"]
+        outcome = TrialOutcome(
+            trial=trial,
+            kinds=trial_kinds,
+            injected=inj["injected"],
+            detected=res["detected"],
+            detectors=tuple(
+                sorted({d["detector"] for d in res["detections"]})
+            ),
+            correct=bool(np.array_equal(result.in_mst, reference)),
+            fallback=res["fallbacks"] > 0,
+            rounds=result.rounds,
+        )
+        if outcome.injected:
+            report.trials.append(outcome)
+        if progress is not None:
+            status = (
+                "escaped!"
+                if outcome.escaped
+                else "recovered"
+                if outcome.recovered
+                else "benign"
+                if outcome.benign
+                else "missed"
+            )
+            progress(
+                f"trial {trial:>3} [{','.join(trial_kinds)}] "
+                f"injected={outcome.injected} detected={outcome.detected} "
+                f"{status}"
+            )
+        trial += 1
+    return report

@@ -1,0 +1,66 @@
+"""Solver-state checkpoints for rollback-and-retry.
+
+A checkpoint copies the mutable algorithm state of one
+:class:`~repro.core.kernels.MstState` — parent pointers, reservation
+array, MST edge mask, the active worklist, and the cached per-round
+representatives.  Cost-model accounting (device counters, modeled
+time) is deliberately *not* rolled back: a retried round costs real
+modeled time, exactly like a retried launch on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.worklist import EdgeList
+
+__all__ = ["Checkpoint"]
+
+
+def _copy_edge_list(wl: EdgeList) -> EdgeList:
+    return EdgeList(wl.v.copy(), wl.n.copy(), wl.w.copy(), wl.eid.copy())
+
+
+@dataclass
+class Checkpoint:
+    """Copy-on-capture snapshot of the mutable solver state."""
+
+    parent: np.ndarray
+    min_edge: np.ndarray
+    in_mst: np.ndarray
+    front: EdgeList
+    round_p: np.ndarray | None
+    round_q: np.ndarray | None
+
+    @classmethod
+    def capture(cls, state) -> "Checkpoint":
+        return cls(
+            parent=state.parent.copy(),
+            min_edge=state.min_edge.copy(),
+            in_mst=state.in_mst.copy(),
+            front=_copy_edge_list(state.wl.front),
+            round_p=None if state._round_p is None else state._round_p.copy(),
+            round_q=None if state._round_q is None else state._round_q.copy(),
+        )
+
+    def restore(self, state) -> None:
+        """Write the snapshot back into ``state`` (fresh copies, so one
+        checkpoint can be restored repeatedly)."""
+        np.copyto(state.parent, self.parent)
+        np.copyto(state.min_edge, self.min_edge)
+        np.copyto(state.in_mst, self.in_mst)
+        state.wl.front = _copy_edge_list(self.front)
+        state.wl._back_parts = []
+        state._round_p = None if self.round_p is None else self.round_p.copy()
+        state._round_q = None if self.round_q is None else self.round_q.copy()
+
+    @property
+    def nbytes(self) -> int:
+        """Checkpoint footprint (for metrics)."""
+        total = self.parent.nbytes + self.min_edge.nbytes + self.in_mst.nbytes
+        total += sum(
+            a.nbytes for a in (self.front.v, self.front.n, self.front.w, self.front.eid)
+        )
+        return total

@@ -1,0 +1,262 @@
+"""Seeded, deterministic fault injection for the simulated GPU.
+
+A :class:`FaultPlan` is a fixed list of :class:`FaultEvent` records,
+each bound to a global *launch index* (for state corruption and failed
+launches) or a global *atomic-batch index* (for lost/doubled/permuted
+``atomicMin`` updates).  The :class:`~repro.gpusim.costmodel.Device`
+consults the plan's :class:`FaultInjector` on every kernel launch, and
+:func:`~repro.gpusim.atomics.atomic_min_u64` consults it per batch, so
+the same seed always injects the same faults at the same points of the
+same run — campaigns are exactly reproducible.
+
+Fault models (Section 4's "what if the device misbehaves" gap):
+
+* ``bitflip-parent``   — flip one bit of one ``MstState.parent`` entry
+* ``bitflip-minedge``  — flip one bit of one packed ``weight:edge-ID``
+  reservation key in ``MstState.min_edge``
+* ``drop-atomic``      — silently lose one lane of an ``atomicMin``
+  batch (a dropped update)
+* ``dup-atomic``       — apply one lane of an ``atomicMin`` batch twice
+  (a replayed update; idempotent for min, so must be benign)
+* ``permute-atomic``   — adversarially permute the lane order of an
+  ``atomicMin`` batch (stresses the determinism claim of the packed-key
+  tie-break; must be benign)
+* ``kernel-fail``      — the launch itself fails, raising a typed
+  :class:`~repro.errors.DeviceFault`
+
+Faults are keyed to monotonically increasing global indices, so a
+retried round re-executes at *new* indices and the fault does not
+re-fire — the transient-fault model rollback-and-retry relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "ATOMIC_FAULT_KINDS",
+    "LAUNCH_FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+LAUNCH_FAULT_KINDS = ("bitflip-parent", "bitflip-minedge", "kernel-fail")
+ATOMIC_FAULT_KINDS = ("drop-atomic", "dup-atomic", "permute-atomic")
+FAULT_KINDS = LAUNCH_FAULT_KINDS + ATOMIC_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault.
+
+    ``index`` is a launch index for launch-scoped kinds and an
+    atomic-batch index for atomic-scoped kinds.  ``lane`` and ``bit``
+    select the victim entry/bit deterministically (reduced modulo the
+    live array size at injection time).
+    """
+
+    kind: str
+    index: int
+    lane: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults for one run."""
+
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_faults: int,
+        *,
+        launches: int,
+        atomic_calls: int,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """Spread ``n_faults`` events across a run's launch/atomic span.
+
+        ``launches`` and ``atomic_calls`` are horizons from a fault-free
+        dry run of the same workload (so every event lands inside the
+        run).  Kinds cycle round-robin through ``kinds`` so a campaign
+        covers every fault model evenly.
+        """
+        for k in kinds:
+            if k not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {k!r}")
+        rng = np.random.default_rng(seed)
+        events = []
+        for i in range(n_faults):
+            kind = kinds[i % len(kinds)]
+            horizon = launches if kind in LAUNCH_FAULT_KINDS else atomic_calls
+            events.append(
+                FaultEvent(
+                    kind=kind,
+                    index=int(rng.integers(max(1, horizon))),
+                    lane=int(rng.integers(1 << 30)),
+                    bit=int(rng.integers(62 if kind == "bitflip-parent" else 64)),
+                )
+            )
+        return cls(seed=seed, events=tuple(events))
+
+
+@dataclass
+class InjectedFault:
+    """Record of one fault that actually fired."""
+
+    kind: str
+    index: int
+    kernel: str = "?"
+    detail: str = ""
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a bound solver state.
+
+    The driver binds the live :class:`~repro.core.kernels.MstState`
+    (:meth:`bind_state`); the Device then calls :meth:`on_launch` per
+    kernel launch and the atomics layer calls :meth:`perturb_atomics`
+    per ``atomicMin`` batch.  Fired faults are logged on
+    :attr:`injected` for campaign accounting.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.launches = 0
+        self.atomic_calls = 0
+        self.injected: list[InjectedFault] = []
+        self._state = None
+        self._by_launch: dict[int, list[FaultEvent]] = {}
+        self._by_atomic: dict[int, list[FaultEvent]] = {}
+        for ev in self.plan.events:
+            table = (
+                self._by_launch
+                if ev.kind in LAUNCH_FAULT_KINDS
+                else self._by_atomic
+            )
+            table.setdefault(ev.index, []).append(ev)
+
+    def bind_state(self, state) -> None:
+        """Point state-corruption faults at this solver state."""
+        self._state = state
+
+    # ------------------------------------------------------------------
+    # Device hook
+    # ------------------------------------------------------------------
+    def on_launch(self, kernel: str) -> None:
+        """Fire any faults planned for the current launch index."""
+        i = self.launches
+        self.launches += 1
+        for ev in self._by_launch.get(i, ()):
+            self._fire_launch_fault(ev, kernel)
+
+    def _fire_launch_fault(self, ev: FaultEvent, kernel: str) -> None:
+        state = self._state
+        if ev.kind == "kernel-fail":
+            self.injected.append(
+                InjectedFault(ev.kind, ev.index, kernel, "launch aborted")
+            )
+            raise DeviceFault(
+                f"simulated launch failure of kernel {kernel!r} "
+                f"(launch #{ev.index})",
+                kernel=kernel,
+                launch_index=ev.index,
+                kind=ev.kind,
+            )
+        if state is None:
+            return  # nothing bound to corrupt
+        if ev.kind == "bitflip-parent":
+            arr = state.parent
+            if arr.size == 0:
+                return
+            pos = ev.lane % arr.size
+            old = int(arr[pos])
+            arr[pos] = old ^ (1 << (ev.bit % 62))
+            detail = f"parent[{pos}]: {old} -> {int(arr[pos])}"
+        else:  # bitflip-minedge
+            arr = state.min_edge
+            if arr.size == 0:
+                return
+            pos = ev.lane % arr.size
+            old = int(arr[pos])
+            arr[pos] = np.uint64(old ^ (1 << (ev.bit % 64)))
+            detail = f"min_edge[{pos}]: {old:#x} -> {int(arr[pos]):#x}"
+        self.injected.append(InjectedFault(ev.kind, ev.index, kernel, detail))
+
+    # ------------------------------------------------------------------
+    # Atomics hook
+    # ------------------------------------------------------------------
+    def perturb_atomics(
+        self, idx: np.ndarray, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply drop/dup/permute faults planned for this batch."""
+        i = self.atomic_calls
+        self.atomic_calls += 1
+        events = self._by_atomic.get(i)
+        if not events:
+            return idx, keys
+        rng = np.random.default_rng(self.plan.seed ^ (i * 0x9E3779B9 + 1))
+        for ev in events:
+            if keys.size == 0:
+                continue  # empty batch: nothing to perturb
+            if ev.kind == "drop-atomic":
+                lane = ev.lane % keys.size
+                keep = np.ones(keys.size, dtype=bool)
+                keep[lane] = False
+                detail = f"dropped lane {lane} -> slot {int(idx[lane])}"
+                idx, keys = idx[keep], keys[keep]
+            elif ev.kind == "dup-atomic":
+                lane = ev.lane % keys.size
+                idx = np.append(idx, idx[lane])
+                keys = np.append(keys, keys[lane])
+                detail = f"duplicated lane {lane} -> slot {int(idx[lane])}"
+            else:  # permute-atomic
+                perm = rng.permutation(keys.size)
+                idx, keys = idx[perm], keys[perm]
+                detail = f"permuted {keys.size} lanes"
+            self.injected.append(
+                InjectedFault(ev.kind, ev.index, "k1_reserve", detail)
+            )
+        return idx, keys
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-friendly record of what fired (for ``result.extra``)."""
+        by_kind: dict[str, int] = {}
+        for f in self.injected:
+            by_kind[f.kind] = by_kind.get(f.kind, 0) + 1
+        return {
+            "planned": len(self.plan.events),
+            "injected": len(self.injected),
+            "launches_seen": self.launches,
+            "atomic_calls_seen": self.atomic_calls,
+            "by_kind": by_kind,
+            "events": [
+                {
+                    "kind": f.kind,
+                    "index": f.index,
+                    "kernel": f.kernel,
+                    "detail": f.detail,
+                }
+                for f in self.injected
+            ],
+        }

@@ -1,0 +1,89 @@
+"""Degenerate inputs through the full pipeline (issue: robustness).
+
+Empty graphs, single vertices, self-loops, parallel multi-edges and
+disconnected graphs must flow through ``ecl_mst`` + ``verify_mst`` and
+the MSF-capable baselines without special-casing by the caller.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import kruskal_serial_mst, lonestar_cpu_mst, prim_mst
+from repro.core.eclmst import ecl_mst
+from repro.core.verify import reference_mst_mask, verify_mst
+from repro.graph.build import build_csr, empty_graph
+
+from helpers import make_graph
+
+BASELINES = [kruskal_serial_mst, lonestar_cpu_mst, prim_mst]
+
+
+def _check_all(graph, expect_edges, expect_weight):
+    results = [ecl_mst(graph)] + [fn(graph) for fn in BASELINES]
+    ref = reference_mst_mask(graph)
+    for r in results:
+        assert r.num_mst_edges == expect_edges
+        assert r.total_weight == expect_weight
+        assert np.array_equal(r.in_mst, ref)
+        verify_mst(r)
+
+
+class TestDegenerate:
+    def test_empty_graph(self):
+        g = empty_graph(0, "empty")
+        _check_all(g, 0, 0)
+
+    def test_edgeless_vertices(self):
+        g = empty_graph(5, "edgeless")
+        _check_all(g, 0, 0)
+
+    def test_single_vertex(self):
+        g = empty_graph(1, "one")
+        _check_all(g, 0, 0)
+
+    def test_single_edge(self):
+        g = make_graph(2, [(0, 1, 7)])
+        _check_all(g, 1, 7)
+
+    def test_self_loops_dropped(self):
+        u = np.array([0, 0, 1, 2], dtype=np.int64)
+        v = np.array([0, 1, 1, 2], dtype=np.int64)
+        w = np.array([9, 3, 9, 9], dtype=np.int64)
+        g = build_csr(3, u, v, w, name="loops")
+        assert g.num_edges == 1  # only the 0-1 edge survives
+        _check_all(g, 1, 3)
+
+    def test_parallel_edges_keep_min_weight(self):
+        u = np.array([0, 1, 0, 0], dtype=np.int64)
+        v = np.array([1, 0, 1, 2], dtype=np.int64)
+        w = np.array([5, 2, 8, 4], dtype=np.int64)
+        g = build_csr(3, u, v, w, name="multi")
+        assert g.num_edges == 2  # 0-1 merged to weight 2, plus 0-2
+        _check_all(g, 2, 6)
+
+    def test_disconnected_components(self):
+        g = make_graph(
+            6,
+            [(0, 1, 1), (1, 2, 2), (3, 4, 3), (4, 5, 4)],
+            name="two-comps",
+        )
+        _check_all(g, 4, 10)
+
+    def test_isolated_vertex_amid_component(self):
+        g = make_graph(4, [(0, 1, 1), (1, 2, 2)], name="isolated")
+        _check_all(g, 2, 3)
+
+    def test_degenerate_with_resilience(self):
+        from repro.resilience import ResilienceConfig
+
+        g = make_graph(6, [(0, 1, 1), (3, 4, 3)], name="res-degenerate")
+        r = ecl_mst(g, resilience=ResilienceConfig())
+        assert np.array_equal(r.in_mst, reference_mst_mask(g))
+        verify_mst(r)
+
+    def test_empty_with_resilience(self):
+        from repro.resilience import ResilienceConfig
+
+        g = empty_graph(0, "res-empty")
+        r = ecl_mst(g, resilience=ResilienceConfig())
+        assert r.num_mst_edges == 0
