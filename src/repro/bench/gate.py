@@ -1,0 +1,280 @@
+"""The perf gate: record baselines, compare runs, fail CI on regression.
+
+Workflow (surfaced as ``repro-mst perf record|compare|check``):
+
+* :func:`perf_record` runs the gate inputs, writes one
+  :class:`~repro.obs.regress.Baseline` per (input, code, system) to the
+  baseline store, and appends a ``BENCH_<stamp>.json`` entry to the
+  benchmark trajectory so the repo accumulates a performance history.
+* :func:`perf_compare` re-runs and renders the full metric diff against
+  the stored baseline (reusing :class:`~repro.obs.profile.ProfileDiff`).
+* :func:`perf_check` re-runs and returns a :class:`GateReport` whose
+  ``passed`` gates CI: modeled metrics compare exactly (deterministic
+  cost model), wall-clock medians are advisory against the stored
+  median+MAD band.
+
+``slowdown`` scales every hardware rate via
+:meth:`~repro.gpusim.spec.GPUSpec.slowed` — the synthetic cost-model
+regression the CI job injects to prove the gate trips.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..baselines.registry import get_runner
+from ..generators import suite
+from ..obs.profile import RunProfile
+from ..obs.regress import (
+    Baseline,
+    BaselineStore,
+    RunComparison,
+    WallStats,
+    compare_to_baseline,
+)
+from .harness import SYSTEM1, SYSTEM2, SystemSpec
+
+__all__ = [
+    "DEFAULT_GATE_INPUTS",
+    "DEFAULT_GATE_SCALE",
+    "DEFAULT_REPEATS",
+    "BASELINE_DIR",
+    "TRAJECTORY_DIR",
+    "GateReport",
+    "perf_check",
+    "perf_compare",
+    "perf_record",
+]
+
+# Two structurally different small suite inputs: a scale-free topology
+# (atomic-contention heavy) and a grid (memory/launch heavy).  Small
+# enough that record+check stays in CI-smoke territory.
+DEFAULT_GATE_INPUTS = ("internet", "2d-2e20.sym")
+DEFAULT_GATE_SCALE = 0.06
+DEFAULT_REPEATS = 3
+BASELINE_DIR = "benchmarks/baselines"
+TRAJECTORY_DIR = "benchmarks/trajectory"
+
+TRAJECTORY_SCHEMA = "repro.bench.trajectory/v1"
+
+
+def _system(number: int) -> SystemSpec:
+    return SYSTEM1 if number == 1 else SYSTEM2
+
+
+def _measured_run(
+    input_name: str,
+    *,
+    code: str,
+    system: SystemSpec,
+    scale: float,
+    repeats: int,
+    slowdown: float = 1.0,
+):
+    """Run one gate cell: modeled result once-equivalent (deterministic
+    across repeats), wall-clock sampled per repeat.
+
+    Returns ``(profile, wall_samples)``; the profile carries the
+    roofline report attributed against the (possibly slowed) GPU spec.
+    """
+    runner = get_runner(code)
+    gpu = system.gpu.slowed(slowdown) if slowdown != 1.0 else system.gpu
+    cpu = system.cpu.slowed(slowdown) if slowdown != 1.0 else system.cpu
+    graph = suite.build(input_name, scale=scale)
+    result = None
+    walls: list[float] = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = runner.run(graph, gpu=gpu, cpu=cpu)
+        walls.append(time.perf_counter() - t0)
+    assert result is not None
+    gpu_for_roofline = gpu if runner.kind == "gpu" else None
+    profile = RunProfile.from_result(result, gpu=gpu_for_roofline)
+    return profile, walls
+
+
+def _utc_stamp() -> str:
+    return datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+
+
+def perf_record(
+    inputs: tuple[str, ...] = DEFAULT_GATE_INPUTS,
+    *,
+    code: str = "ECL-MST",
+    system: int = 2,
+    scale: float = DEFAULT_GATE_SCALE,
+    repeats: int = DEFAULT_REPEATS,
+    store_dir: str | Path = BASELINE_DIR,
+    trajectory_dir: str | Path = TRAJECTORY_DIR,
+    slowdown: float = 1.0,
+    stamp: str | None = None,
+) -> tuple[list[Path], Path]:
+    """Record baselines for every gate input and append one trajectory
+    entry; returns ``(baseline paths, trajectory path)``."""
+    store = BaselineStore(store_dir)
+    sysspec = _system(system)
+    recorded_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    paths: list[Path] = []
+    entries: list[dict] = []
+    for name in inputs:
+        profile, walls = _measured_run(
+            name,
+            code=code,
+            system=sysspec,
+            scale=scale,
+            repeats=repeats,
+            slowdown=slowdown,
+        )
+        baseline = Baseline(
+            input=name,
+            code=code,
+            system=system,
+            scale=scale,
+            graph=profile.graph,
+            metrics=profile.metrics,
+            wall=WallStats(samples=walls),
+            recorded_at=recorded_at,
+        )
+        paths.append(store.save(baseline))
+        entries.append(
+            {
+                "input": name,
+                "graph_digest": profile.graph.get("digest"),
+                "rounds": profile.rounds,
+                "modeled_seconds": profile.modeled_seconds,
+                "wall_median_s": baseline.wall.median,
+                "wall_mad_s": baseline.wall.mad,
+                "launches": profile.metrics.get("kernel.launches"),
+                "bounds": {
+                    k["name"]: k["bound"]
+                    for k in profile.roofline.get("kernels", [])
+                },
+            }
+        )
+    trajectory = Path(trajectory_dir)
+    trajectory.mkdir(parents=True, exist_ok=True)
+    traj_path = trajectory / f"BENCH_{stamp or _utc_stamp()}.json"
+    import json
+
+    traj_path.write_text(
+        json.dumps(
+            {
+                "schema": TRAJECTORY_SCHEMA,
+                "recorded_at": recorded_at,
+                "code": code,
+                "system": system,
+                "scale": scale,
+                "repeats": repeats,
+                "entries": entries,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return paths, traj_path
+
+
+@dataclass
+class GateReport:
+    """All per-input verdicts of one ``perf check`` invocation."""
+
+    comparisons: list[RunComparison] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.missing and all(c.passed for c in self.comparisons)
+
+    def render(self) -> str:
+        lines = []
+        for name in self.missing:
+            lines.append(
+                f"{name}: MISSING baseline — run `repro-mst perf record`"
+            )
+        for c in self.comparisons:
+            lines.append(c.render())
+        lines.append(
+            "perf check: "
+            + ("PASS" if self.passed else "FAIL")
+            + f" ({len(self.comparisons)} compared, {len(self.missing)} missing)"
+        )
+        return "\n".join(lines)
+
+
+def perf_check(
+    inputs: tuple[str, ...] = DEFAULT_GATE_INPUTS,
+    *,
+    code: str = "ECL-MST",
+    system: int = 2,
+    scale: float | None = None,  # None -> each baseline's recorded scale
+    repeats: int = DEFAULT_REPEATS,
+    store_dir: str | Path = BASELINE_DIR,
+    slowdown: float = 1.0,
+    threshold: float = 1.0,
+) -> GateReport:
+    """Re-run the gate inputs and compare each against its baseline."""
+    store = BaselineStore(store_dir)
+    sysspec = _system(system)
+    report = GateReport()
+    for name in inputs:
+        if not store.exists(name, code, system):
+            report.missing.append(name)
+            continue
+        baseline = store.load(name, code, system)
+        profile, walls = _measured_run(
+            name,
+            code=code,
+            system=sysspec,
+            scale=baseline.scale if scale is None else scale,
+            repeats=repeats,
+            slowdown=slowdown,
+        )
+        report.comparisons.append(
+            compare_to_baseline(baseline, profile, walls, threshold=threshold)
+        )
+    return report
+
+
+def perf_compare(
+    inputs: tuple[str, ...] = DEFAULT_GATE_INPUTS,
+    *,
+    code: str = "ECL-MST",
+    system: int = 2,
+    scale: float | None = None,  # None -> each baseline's recorded scale
+    repeats: int = DEFAULT_REPEATS,
+    store_dir: str | Path = BASELINE_DIR,
+    slowdown: float = 1.0,
+    min_ratio: float = 0.0,
+) -> str:
+    """Render the full metric diff of a fresh run per gate input."""
+    store = BaselineStore(store_dir)
+    sysspec = _system(system)
+    sections: list[str] = []
+    for name in inputs:
+        if not store.exists(name, code, system):
+            sections.append(
+                f"{name}: no baseline recorded (run `repro-mst perf record`)"
+            )
+            continue
+        baseline = store.load(name, code, system)
+        profile, walls = _measured_run(
+            name,
+            code=code,
+            system=sysspec,
+            scale=baseline.scale if scale is None else scale,
+            repeats=repeats,
+            slowdown=slowdown,
+        )
+        comparison = compare_to_baseline(baseline, profile, walls)
+        sections.append(
+            f"== {code} on {name} vs baseline "
+            f"(recorded {baseline.recorded_at or 'unknown'}) ==\n"
+            + comparison.diff.render(min_ratio=min_ratio)
+            + "\n"
+            + comparison.render()
+        )
+    return "\n\n".join(sections)

@@ -187,9 +187,12 @@ def _traced_run(args):
     from .core.eclmst import ecl_mst
     from .obs import Tracer
 
-    g = _resolve_input(args.input, args.scale)
     system = SYSTEM1 if args.system == 1 else SYSTEM2
     tracer = Tracer()
+    # Loading/generating the input is host work worth seeing in the
+    # self-profile, so it happens under the tracer too.
+    with tracer.span("load input", kind="host", input=args.input):
+        g = _resolve_input(args.input, args.scale)
     stage = getattr(args, "stage", None)
     code = getattr(args, "code", "ECL-MST")
     if stage is not None:
@@ -205,6 +208,10 @@ def _traced_run(args):
     else:
         runner = get_runner(code)
         result = runner.run(g, gpu=system.gpu, cpu=system.cpu, tracer=tracer)
+        if runner.kind == "gpu":
+            # GPU baselines price against the same spec; let the
+            # profile attribute their kernels on the roofline too.
+            result.extra.setdefault("gpu_spec", system.gpu)
     return result, tracer
 
 
@@ -237,11 +244,24 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _render_host_hotspots(profile) -> str:
+    rows = profile.host.get("hotspots", [])
+    if not rows:
+        return ""
+    lines = ["host wall-clock hot spots (self time):"]
+    for r in rows:
+        lines.append(
+            f"  {r['name']:24s} {r['kind']:7s} {r['count']:5d}x "
+            f"{r['wall_seconds'] * 1e3:9.3f} ms"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_profile(args) -> int:
     from .obs import RunProfile, diff, to_chrome_trace_json, to_ndjson
 
     result, tracer = _traced_run(args)
-    profile = RunProfile.from_result(result)
+    profile = RunProfile.from_result(result, tracer=tracer)
     if args.baseline:
         baseline = RunProfile.load(args.baseline)
         d = diff(baseline, profile)
@@ -251,8 +271,26 @@ def _cmd_profile(args) -> int:
         _emit(to_chrome_trace_json(tracer), args.out)
     elif args.format == "ndjson":
         _emit(to_ndjson(tracer), args.out)
-    elif args.format == "text":
-        _emit(profile.render(), args.out)
+    elif args.format in ("text", "roofline"):
+        from .obs.roofline import roofline_report
+
+        sections = []
+        if args.format == "text":
+            sections.append(profile.render())
+        gpu = result.extra.get("gpu_spec")
+        if gpu is not None:
+            sections.append(
+                roofline_report(result.counters, gpu).render(top_n=args.top)
+            )
+        elif args.format == "roofline":
+            print("no GPU spec for this code; roofline unavailable",
+                  file=sys.stderr)
+            return 2
+        if args.format == "text":
+            hot = _render_host_hotspots(profile)
+            if hot:
+                sections.append(hot)
+        _emit("\n\n".join(sections), args.out)
     else:
         _emit(profile.to_json(), args.out)
     return 0
@@ -299,6 +337,58 @@ def _cmd_chaos(args) -> int:
     )
     print(report.render())
     return 0 if report.escaped == 0 else 1
+
+
+def _split_inputs(text: str) -> tuple[str, ...]:
+    return tuple(s.strip() for s in text.split(",") if s.strip())
+
+
+def _cmd_perf(args) -> int:
+    from .bench import gate
+
+    inputs = _split_inputs(args.inputs)
+    if args.perf_command == "record":
+        paths, traj = gate.perf_record(
+            inputs,
+            code=args.code,
+            system=args.system,
+            scale=args.scale,
+            repeats=args.repeats,
+            store_dir=args.store,
+            trajectory_dir=args.trajectory,
+            slowdown=args.slowdown,
+        )
+        for p in paths:
+            print(f"baseline written: {p}")
+        print(f"trajectory entry: {traj}")
+        return 0
+    if args.perf_command == "compare":
+        print(
+            gate.perf_compare(
+                inputs,
+                code=args.code,
+                system=args.system,
+                scale=args.scale,
+                repeats=args.repeats,
+                store_dir=args.store,
+                slowdown=args.slowdown,
+                min_ratio=args.min_ratio,
+            )
+        )
+        return 0
+    # check
+    report = gate.perf_check(
+        inputs,
+        code=args.code,
+        system=args.system,
+        scale=args.scale,
+        repeats=args.repeats,
+        store_dir=args.store,
+        slowdown=args.slowdown,
+        threshold=args.threshold,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_mst(args) -> int:
@@ -433,10 +523,89 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_prof.add_argument(
         "--format",
-        choices=("json", "chrome", "ndjson", "text"),
+        choices=("json", "chrome", "ndjson", "text", "roofline"),
         default="json",
     )
+    p_prof.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="kernels shown in the roofline bound table",
+    )
     p_prof.set_defaults(fn=_cmd_profile)
+
+    from .bench.gate import (
+        BASELINE_DIR,
+        DEFAULT_GATE_INPUTS,
+        DEFAULT_GATE_SCALE,
+        DEFAULT_REPEATS,
+        TRAJECTORY_DIR,
+    )
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="benchmark-regression gate: record baselines, compare, check",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(p, *, for_record: bool) -> None:
+        p.add_argument(
+            "--inputs",
+            default=",".join(DEFAULT_GATE_INPUTS),
+            help="comma-separated suite input names",
+        )
+        p.add_argument("--code", default="ECL-MST")
+        p.add_argument("--system", type=int, choices=(1, 2), default=2)
+        p.add_argument(
+            "--scale",
+            type=float,
+            # record needs a concrete scale; compare/check default to
+            # each baseline's recorded scale (like-for-like).
+            default=DEFAULT_GATE_SCALE if for_record else None,
+        )
+        p.add_argument(
+            "--repeats",
+            type=int,
+            default=DEFAULT_REPEATS,
+            help="wall-clock repetitions (median + MAD)",
+        )
+        p.add_argument("--store", default=BASELINE_DIR)
+        p.add_argument(
+            "--slowdown",
+            type=float,
+            default=1.0,
+            help="inject a synthetic NxN cost-model slowdown (CI gate test)",
+        )
+        p.set_defaults(fn=_cmd_perf)
+
+    p_rec = perf_sub.add_parser(
+        "record", help="write baselines + a BENCH_<stamp>.json trajectory entry"
+    )
+    _perf_common(p_rec, for_record=True)
+    p_rec.add_argument("--trajectory", default=TRAJECTORY_DIR)
+
+    p_cmp = perf_sub.add_parser(
+        "compare", help="render the full metric diff against the baselines"
+    )
+    _perf_common(p_cmp, for_record=False)
+    p_cmp.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.0,
+        dest="min_ratio",
+        help="hide metrics whose ratio is within this of 1.0",
+    )
+
+    p_chk = perf_sub.add_parser(
+        "check", help="exit nonzero if any modeled metric regressed"
+    )
+    _perf_common(p_chk, for_record=False)
+    p_chk.add_argument(
+        "--threshold",
+        type=float,
+        default=1.0,
+        help="bad-direction ratio tolerated (1.0 = exact compare)",
+    )
 
     return parser
 
@@ -460,6 +629,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace",
         "profile",
         "chaos",
+        "perf",
     }
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["exp", *argv]

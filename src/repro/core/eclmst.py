@@ -195,23 +195,6 @@ def ecl_mst(
 
         injector = FaultInjector(fault_plan)
     device = Device(gpu, tracer=tracer, fault_injector=injector)
-    state = MstState.create(graph, config, device)
-    if injector is not None:
-        injector.bind_state(state)
-    weight_of_edge = _edge_weight_table(graph)
-
-    guard = None
-    if resilience is not None:
-        from ..resilience.recovery import RoundGuard
-
-        guard = RoundGuard(
-            resilience,
-            tracer=tracer,
-            reference_mask=getattr(resilience, "_reference_mask", None),
-        )
-        guard.bind(state, weight_of_edge)
-        device.probe = guard
-
     plan = plan_filtering(graph, config)
     round_log: list[RoundStats] = []
     rounds_total = 0
@@ -275,6 +258,27 @@ def ecl_mst(
         edges=graph.num_edges,
         filtering=plan.active,
     ):
+        # Host-side setup under its own span so the simulator's own
+        # Python cost (state arrays, weight table) shows up in
+        # host_hotspots alongside the modeled time.
+        with tracer.span("build state", kind="host"):
+            state = MstState.create(graph, config, device)
+            if injector is not None:
+                injector.bind_state(state)
+            weight_of_edge = _edge_weight_table(graph)
+
+        guard = None
+        if resilience is not None:
+            from ..resilience.recovery import RoundGuard
+
+            guard = RoundGuard(
+                resilience,
+                tracer=tracer,
+                reference_mask=getattr(resilience, "_reference_mask", None),
+            )
+            guard.bind(state, weight_of_edge)
+            device.probe = guard
+
         try:
             if plan.active:
                 with tracer.span(
@@ -326,6 +330,9 @@ def ecl_mst(
         "filter_plan": plan,
         "config": config,
         "round_log": round_log,
+        # The spec the run was priced with, so RunProfile can attribute
+        # kernel time against the right roofline without re-plumbing it.
+        "gpu_spec": gpu,
     }
     if guard is not None:
         extra["resilience"] = guard.stats.to_dict()
@@ -350,5 +357,6 @@ def ecl_mst(
     if verify:
         from .verify import verify_mst
 
-        verify_mst(result)
+        with tracer.span("verify", kind="host"):
+            verify_mst(result)
     return result

@@ -27,7 +27,38 @@ from ..obs.trace import NULL_TRACER
 from .counters import KernelCounters, RunCounters
 from .spec import CPUSpec, GPUSpec
 
-__all__ = ["gpu_kernel_seconds", "cpu_phase_seconds", "Device", "CpuMachine"]
+__all__ = [
+    "gpu_kernel_seconds",
+    "kernel_time_terms",
+    "cpu_phase_seconds",
+    "Device",
+    "CpuMachine",
+]
+
+
+def kernel_time_terms(spec: GPUSpec, k: KernelCounters) -> dict[str, float]:
+    """The raw per-launch time terms the pricing rule combines, in seconds.
+
+    Keys: ``launch`` (fixed overhead), ``compute``, ``memory``,
+    ``serial`` (the dependent-access critical path), the two atomic
+    charges ``atomic_throughput`` and ``atomic_serial`` (same-address
+    serialization), and ``atomic`` — their max, which is what the
+    kernel is actually charged.  :func:`gpu_kernel_seconds` and the
+    roofline attribution in :mod:`repro.obs.roofline` both derive from
+    this single decomposition, so bound reports always sum back to the
+    modeled time.
+    """
+    atomic_throughput = k.atomics / (spec.atomic_gops * 1e9)
+    atomic_serial = k.atomic_max_contention * spec.atomic_same_address_ns * 1e-9
+    return {
+        "launch": spec.kernel_launch_us * 1e-6,
+        "compute": k.cycles / (spec.compute_gcycles_per_s * 1e9),
+        "memory": k.bytes / (spec.effective_bandwidth_gbs * 1e9),
+        "serial": k.critical_items * spec.dependent_access_ns * 1e-9,
+        "atomic_throughput": atomic_throughput,
+        "atomic_serial": atomic_serial,
+        "atomic": max(atomic_throughput, atomic_serial),
+    }
 
 
 def gpu_kernel_seconds(spec: GPUSpec, k: KernelCounters) -> float:
@@ -37,16 +68,8 @@ def gpu_kernel_seconds(spec: GPUSpec, k: KernelCounters) -> float:
     same-address serialization critical path (atomics on one hot
     address execute one at a time at the L2).
     """
-    compute = k.cycles / (spec.compute_gcycles_per_s * 1e9)
-    memory = k.bytes / (spec.effective_bandwidth_gbs * 1e9)
-    critical = k.critical_items * spec.dependent_access_ns * 1e-9
-    atomic = max(
-        k.atomics / (spec.atomic_gops * 1e9),
-        k.atomic_max_contention * spec.atomic_same_address_ns * 1e-9,
-    )
-    return (
-        spec.kernel_launch_us * 1e-6 + max(compute, memory, critical) + atomic
-    )
+    t = kernel_time_terms(spec, k)
+    return t["launch"] + max(t["compute"], t["memory"], t["serial"]) + t["atomic"]
 
 
 def cpu_phase_seconds(

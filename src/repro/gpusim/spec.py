@@ -85,6 +85,30 @@ class GPUSpec:
     # this latency bounds the kernel from below.
     dependent_access_ns: float = 12.0
 
+    def slowed(self, factor: float) -> "GPUSpec":
+        """A uniformly ``factor``× slower copy of this spec.
+
+        Every rate is divided and every fixed latency multiplied by
+        ``factor``, so all modeled kernel times scale by exactly
+        ``factor`` — the synthetic regression the perf gate's CI job
+        injects to prove `repro-mst perf check` actually fails.
+        """
+        import dataclasses
+
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        return dataclasses.replace(
+            self,
+            name=f"{self.name} (x{factor:g} slowdown)",
+            clock_ghz=self.clock_ghz / factor,
+            mem_bandwidth_gbs=self.mem_bandwidth_gbs / factor,
+            atomic_gops=self.atomic_gops / factor,
+            kernel_launch_us=self.kernel_launch_us * factor,
+            host_sync_us=self.host_sync_us * factor,
+            atomic_same_address_ns=self.atomic_same_address_ns * factor,
+            dependent_access_ns=self.dependent_access_ns * factor,
+        )
+
     @property
     def effective_bandwidth_gbs(self) -> float:
         return self.mem_bandwidth_gbs * self.mem_efficiency
@@ -122,6 +146,20 @@ class CPUSpec:
         used = min(used, self.cores)
         eff = 1.0 if used == 1 else self.parallel_efficiency
         return used * self.clock_ghz * self.ipc * eff
+
+    def slowed(self, factor: float) -> "CPUSpec":
+        """A uniformly ``factor``× slower copy (see ``GPUSpec.slowed``)."""
+        import dataclasses
+
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        return dataclasses.replace(
+            self,
+            name=f"{self.name} (x{factor:g} slowdown)",
+            clock_ghz=self.clock_ghz / factor,
+            mem_bandwidth_gbs=self.mem_bandwidth_gbs / factor,
+            sync_us=self.sync_us * factor,
+        )
 
 
 TITAN_V = GPUSpec(

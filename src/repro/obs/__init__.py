@@ -12,7 +12,13 @@ and modeled time go":
 * :mod:`~repro.obs.export` — NDJSON span logs and Chrome-trace /
   Perfetto JSON keyed to modeled microseconds;
 * :mod:`~repro.obs.profile` — serializable run profiles with
-  ``diff()`` for regression hunting.
+  ``diff()`` for regression hunting;
+* :mod:`~repro.obs.roofline` — per-kernel bound classification
+  (compute-/memory-/serial-/atomic-/launch-bound) derived from the
+  cost model's own time decomposition;
+* :mod:`~repro.obs.regress` — benchmark baselines (deterministic
+  modeled metrics compared exactly, wall-clock via median+MAD bands)
+  backing the ``repro-mst perf`` gate.
 """
 
 from .export import (
@@ -28,26 +34,48 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     collect_result_metrics,
+    metric_direction,
 )
 from .profile import KernelBreakdown, ProfileDiff, RunProfile, diff, graph_fingerprint
-from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .regress import (
+    Baseline,
+    BaselineStore,
+    RunComparison,
+    WallStats,
+    compare_to_baseline,
+    median_mad,
+)
+from .roofline import BoundReport, KernelRoofline, launch_shares, roofline_report
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, host_hotspots
 
 __all__ = [
+    "Baseline",
+    "BaselineStore",
+    "BoundReport",
     "Counter",
     "Gauge",
     "Histogram",
     "KernelBreakdown",
+    "KernelRoofline",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "ProfileDiff",
+    "RunComparison",
     "RunProfile",
     "Span",
     "Tracer",
+    "WallStats",
     "chrome_trace_events",
     "collect_result_metrics",
+    "compare_to_baseline",
     "diff",
     "graph_fingerprint",
+    "host_hotspots",
+    "launch_shares",
+    "median_mad",
+    "metric_direction",
+    "roofline_report",
     "to_chrome_trace_json",
     "to_ndjson",
     "write_chrome_trace",

@@ -25,7 +25,43 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "collect_result_metrics",
+    "metric_direction",
 ]
+
+# ----------------------------------------------------------------------
+# Metric directions: what counts as a *regression* when a metric moves.
+# ``lower`` (the default) treats growth as a regression — costs, counts
+# of work, modeled seconds.  ``higher`` treats shrinkage as a regression
+# — savings such as elided atomics or throughput.  ``exact`` metrics
+# must not move at all (correctness outputs).  ``info`` metrics are
+# descriptive and never gate (e.g. the sampled filter threshold).
+# ----------------------------------------------------------------------
+_HIGHER_IS_BETTER = {
+    "atomics.elided",
+    "atomics.elision_rate",
+    "filter.edges_elided",
+    "run.throughput_meps",
+}
+_EXACT = {
+    "run.total_weight",
+    "run.mst_edges",
+    "filter.active",
+}
+_INFO = {
+    "filter.threshold",
+}
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"``, ``"higher"``, ``"exact"``, or ``"info"`` for a
+    metric name (see the registry comment above)."""
+    if name in _EXACT:
+        return "exact"
+    if name in _HIGHER_IS_BETTER:
+        return "higher"
+    if name in _INFO:
+        return "info"
+    return "lower"
 
 
 @dataclass
@@ -187,6 +223,16 @@ def collect_result_metrics(result) -> dict[str, float]:
         )
         if entries > 0:
             shrink.observe(survivors / entries)
+
+    # Filtering effectiveness (the §5.4 optimization): how many
+    # undirected edges the sampled threshold deferred past phase 1.
+    # Higher-is-better in diffs — losing elided edges is a regression.
+    plan = (result.extra or {}).get("filter_plan")
+    if plan is not None and getattr(plan, "active", False):
+        reg.gauge("filter.active").set(1)
+        reg.gauge("filter.threshold").set(plan.threshold)
+        deferred = int((g.weights >= plan.threshold).sum()) // 2
+        reg.counter("filter.edges_elided").inc(deferred)
 
     # Resilience ladder counters, present only when the run was guarded
     # (result.extra["resilience"] set by the driver).

@@ -52,6 +52,11 @@ class KernelBreakdown:
     bytes: float = 0.0
     atomics: int = 0
     atomics_skipped: int = 0
+    # Worst single-address contention over the launches (max, not sum:
+    # it is a per-launch critical path) and the summed dependent-access
+    # chain — the per-launch records the roofline attribution needs.
+    atomic_max_contention: int = 0
+    critical_items: int = 0
     find_jumps: int = 0
     seconds: float = 0.0
 
@@ -76,6 +81,10 @@ def _kernel_breakdowns(counters) -> dict[str, KernelBreakdown]:
         b.bytes += k.bytes
         b.atomics += k.atomics
         b.atomics_skipped += k.atomics_skipped
+        b.atomic_max_contention = max(
+            b.atomic_max_contention, k.atomic_max_contention
+        )
+        b.critical_items += k.critical_items
         b.find_jumps += k.find_jumps
         b.seconds += k.modeled_seconds
     return out
@@ -96,17 +105,42 @@ class RunProfile:
     memcpy_seconds: float = 0.0
     metrics: dict = field(default_factory=dict)
     kernels: dict = field(default_factory=dict)  # name -> KernelBreakdown
+    # Roofline bound report (repro.obs.roofline schema); empty when the
+    # run's GPUSpec was unavailable to attribute against.
+    roofline: dict = field(default_factory=dict)
+    # Host-side self-profiling: the simulator's own wall-clock hot
+    # spots.  Deliberately kept out of ``metrics`` — wall time is noisy
+    # and must never feed the deterministic regression gate.
+    host: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_result(cls, result) -> "RunProfile":
-        """Build a profile from any runner's :class:`MstResult`."""
+    def from_result(cls, result, *, gpu=None, tracer=None) -> "RunProfile":
+        """Build a profile from any runner's :class:`MstResult`.
+
+        ``gpu``: the :class:`~repro.gpusim.spec.GPUSpec` the run was
+        priced with, enabling the roofline bound report; defaults to
+        the spec the runner recorded in ``result.extra["gpu_spec"]``.
+        ``tracer``: an enabled tracer that observed the run, folding
+        its host wall-clock hot spots into the profile.
+        """
         from .metrics import collect_result_metrics
 
         cfg = result.extra.get("config")
         config = dataclasses.asdict(cfg) if dataclasses.is_dataclass(cfg) else {}
+        gpu = gpu if gpu is not None else result.extra.get("gpu_spec")
+        roofline: dict = {}
+        if gpu is not None:
+            from .roofline import roofline_report
+
+            roofline = roofline_report(result.counters, gpu).to_dict()
+        host: dict = {}
+        if tracer is not None and getattr(tracer, "enabled", False):
+            from .trace import host_hotspots
+
+            host = {"hotspots": host_hotspots(tracer)}
         return cls(
             algorithm=result.algorithm,
             graph=graph_fingerprint(result.graph),
@@ -118,6 +152,8 @@ class RunProfile:
             memcpy_seconds=result.memcpy_seconds,
             metrics=collect_result_metrics(result),
             kernels=_kernel_breakdowns(result.counters),
+            roofline=roofline,
+            host=host,
         )
 
     # ------------------------------------------------------------------
@@ -170,12 +206,18 @@ class RunProfile:
         ]
         total = self.modeled_seconds or 1.0
         name_w = max((len(n) for n in self.kernels), default=6)
+        bounds = {
+            k.get("name"): k.get("bound", "")
+            for k in self.roofline.get("kernels", [])
+        }
         for name, b in sorted(
             self.kernels.items(), key=lambda kv: -kv[1].seconds
         ):
+            bound = f"  {bounds[name]}-bound" if bounds.get(name) else ""
             lines.append(
                 f"  {name.ljust(name_w)} {b.launches:5d}x "
                 f"{b.seconds * 1e6:12.2f}us {b.seconds / total * 100:5.1f}%"
+                f"{bound}"
             )
         return "\n".join(lines)
 
@@ -202,12 +244,38 @@ class ProfileDiff:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def regressions(self, *, threshold: float = 1.05) -> dict:
-        """Entries whose value grew by more than ``threshold``×."""
-        return {
-            k: e
-            for k, e in self.entries.items()
-            if e["ratio"] is not None and e["ratio"] > threshold
-        }
+        """Entries that moved in their *bad* direction by more than
+        ``threshold``×.
+
+        Direction-aware via
+        :func:`~repro.obs.metrics.metric_direction`: cost-like metrics
+        regress when they grow, savings-like metrics (elided atomics,
+        filtered edges, throughput) regress when they *shrink*, exact
+        metrics (MST weight/edge count) regress on any change, and
+        info metrics never gate.  ``threshold=1.0`` is a strict compare
+        that only equality passes — the deterministic perf gate's mode.
+        """
+        out: dict = {}
+        from .metrics import metric_direction
+
+        for key, e in self.entries.items():
+            direction = metric_direction(key)
+            va, vb = e["a"], e["b"]
+            if direction == "info":
+                continue
+            if direction == "exact":
+                bad = vb != va
+            elif direction == "higher":
+                # Shrinking a saving is the regression; a saving
+                # appearing from zero is an improvement.
+                bad = va > 0 and vb * threshold < va
+            else:  # lower
+                # A cost appearing where there was none regresses too
+                # (the old flat-ratio rule silently skipped ratio=None).
+                bad = vb > va * threshold if va > 0 else vb > 0
+            if bad:
+                out[key] = e
+        return out
 
     def render(self, *, min_ratio: float = 0.0) -> str:
         lines = []
@@ -237,6 +305,8 @@ def diff(a: RunProfile, b: RunProfile) -> ProfileDiff:
     metric disappearing (e.g. atomics elided after removing the guard
     optimization) shows up as a ratio of 0 rather than vanishing.
     """
+    from .metrics import metric_direction
+
     keys = set(a.metrics) | set(b.metrics)
     entries: dict = {}
     for key in sorted(keys):
@@ -247,6 +317,7 @@ def diff(a: RunProfile, b: RunProfile) -> ProfileDiff:
             "b": vb,
             "delta": vb - va,
             "ratio": (vb / va) if va != 0 else None,
+            "direction": metric_direction(key),
         }
     comparable = a.graph.get("digest") == b.graph.get("digest")
     return ProfileDiff(a=a, b=b, entries=entries, comparable=comparable)

@@ -1,0 +1,257 @@
+"""Benchmark baselines and regression verdicts.
+
+A :class:`Baseline` freezes one (input, code, system) measurement in
+two regimes:
+
+* **modeled** — the cost model's metric dict is a deterministic
+  function of the graph and config, so the comparison is exact: any
+  movement in the bad direction (per the
+  :func:`~repro.obs.metrics.metric_direction` registry) is a verdict.
+* **wall** — host wall-clock is noisy, so the baseline stores N
+  repeats summarized as median + MAD, and the comparison asks whether
+  the current median escapes the tolerance band
+  ``median + max(mad_k * MAD, min_rel * median)``.  Wall verdicts are
+  advisory by default; only modeled regressions gate CI.
+
+Baselines live as one JSON file each under ``benchmarks/baselines/``
+(managed by :class:`BaselineStore`), and comparison reuses
+:func:`repro.obs.profile.diff` so `repro-mst perf compare` renders the
+same table as `repro-mst profile --baseline`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .profile import ProfileDiff, RunProfile, diff
+
+__all__ = [
+    "Baseline",
+    "BaselineStore",
+    "RunComparison",
+    "WallStats",
+    "compare_to_baseline",
+    "median_mad",
+]
+
+SCHEMA = "repro.obs.baseline/v1"
+
+# Wall-clock tolerance band: regressed when the current median exceeds
+# baseline median + max(MAD_K * MAD, MIN_REL * median).  Wide on
+# purpose — CI machines are shared and the modeled gate is the real
+# instrument; the wall band only catches order-of-magnitude host-side
+# blowups (e.g. an accidental O(n^2) in the simulator itself).
+WALL_MAD_K = 5.0
+WALL_MIN_REL = 0.5
+
+
+def median_mad(samples: list[float]) -> tuple[float, float]:
+    """Median and median-absolute-deviation of a sample list."""
+    if not samples:
+        return 0.0, 0.0
+    med = statistics.median(samples)
+    mad = statistics.median(abs(s - med) for s in samples)
+    return med, mad
+
+
+@dataclass
+class WallStats:
+    """Noisy-metric summary: N repeats, median + MAD."""
+
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+    @property
+    def median(self) -> float:
+        return median_mad(self.samples)[0]
+
+    @property
+    def mad(self) -> float:
+        return median_mad(self.samples)[1]
+
+    def band(self, *, mad_k: float = WALL_MAD_K, min_rel: float = WALL_MIN_REL) -> float:
+        """Upper edge of the tolerance band for a later measurement."""
+        return self.median + max(mad_k * self.mad, min_rel * self.median)
+
+    def to_dict(self) -> dict:
+        return {
+            "samples_s": list(self.samples),
+            "repeats": self.repeats,
+            "median_s": self.median,
+            "mad_s": self.mad,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WallStats":
+        return cls(samples=[float(s) for s in d.get("samples_s", [])])
+
+
+@dataclass
+class Baseline:
+    """One frozen (input, code, system) measurement."""
+
+    input: str
+    code: str
+    system: int
+    scale: float
+    graph: dict = field(default_factory=dict)  # fingerprint
+    metrics: dict = field(default_factory=dict)  # deterministic, modeled
+    wall: WallStats = field(default_factory=WallStats)
+    recorded_at: str = ""
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "input": self.input,
+            "code": self.code,
+            "system": self.system,
+            "scale": self.scale,
+            "graph": self.graph,
+            "metrics": self.metrics,
+            "wall": self.wall.to_dict(),
+            "recorded_at": self.recorded_at,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Baseline":
+        return cls(
+            input=d["input"],
+            code=d["code"],
+            system=int(d["system"]),
+            scale=float(d["scale"]),
+            graph=d.get("graph", {}),
+            metrics=d.get("metrics", {}),
+            wall=WallStats.from_dict(d.get("wall", {})),
+            recorded_at=d.get("recorded_at", ""),
+            schema=d.get("schema", SCHEMA),
+        )
+
+    def to_profile(self) -> RunProfile:
+        """A minimal profile view, so comparison reuses ProfileDiff."""
+        return RunProfile(
+            algorithm=self.code, graph=self.graph, metrics=self.metrics
+        )
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text)
+
+
+class BaselineStore:
+    """Directory of baseline JSON files, one per (input, code, system)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, input_name: str, code: str, system: int) -> Path:
+        return self.root / (
+            f"{_slug(code)}__{_slug(input_name)}__sys{system}.json"
+        )
+
+    def exists(self, input_name: str, code: str, system: int) -> bool:
+        return self.path(input_name, code, system).exists()
+
+    def save(self, baseline: Baseline) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(baseline.input, baseline.code, baseline.system)
+        path.write_text(
+            json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    def load(self, input_name: str, code: str, system: int) -> Baseline:
+        path = self.path(input_name, code, system)
+        return Baseline.from_dict(json.loads(path.read_text()))
+
+    def list(self) -> list[Baseline]:
+        if not self.root.is_dir():
+            return []
+        return [
+            Baseline.from_dict(json.loads(p.read_text()))
+            for p in sorted(self.root.glob("*.json"))
+        ]
+
+
+@dataclass
+class RunComparison:
+    """Verdicts of one current run against its baseline."""
+
+    baseline: Baseline
+    diff: ProfileDiff
+    comparable: bool
+    modeled_regressions: dict  # metric -> diff entry
+    wall_median: float
+    wall_band: float
+
+    @property
+    def wall_regressed(self) -> bool:
+        return self.baseline.wall.repeats > 0 and self.wall_median > self.wall_band
+
+    @property
+    def passed(self) -> bool:
+        """The gating verdict: modeled-exact and like-for-like only."""
+        return self.comparable and not self.modeled_regressions
+
+    def render(self) -> str:
+        head = f"{self.baseline.code} on {self.baseline.input}"
+        if not self.comparable:
+            return (
+                f"{head}: INCOMPARABLE — graph fingerprint changed "
+                f"(generator or scale drifted; re-record the baseline)"
+            )
+        lines = []
+        if self.modeled_regressions:
+            lines.append(
+                f"{head}: FAIL — {len(self.modeled_regressions)} modeled "
+                f"metric(s) regressed"
+            )
+            for name, e in sorted(self.modeled_regressions.items()):
+                ratio = f"{e['ratio']:.3f}x" if e["ratio"] is not None else "new"
+                lines.append(
+                    f"    {name:40s} {e['a']:14.6g} -> {e['b']:14.6g} "
+                    f"({ratio}, {e['direction']}-is-better)"
+                )
+        else:
+            lines.append(f"{head}: PASS (modeled metrics exact)")
+        if self.baseline.wall.repeats > 0:
+            verdict = "REGRESSED" if self.wall_regressed else "ok"
+            lines.append(
+                f"    wall {verdict}: median {self.wall_median * 1e3:.1f} ms "
+                f"vs baseline {self.baseline.wall.median * 1e3:.1f} ms "
+                f"(band <= {self.wall_band * 1e3:.1f} ms, "
+                f"MAD {self.baseline.wall.mad * 1e3:.2f} ms, advisory)"
+            )
+        return "\n".join(lines)
+
+
+def compare_to_baseline(
+    baseline: Baseline,
+    profile: RunProfile,
+    wall_samples: list[float],
+    *,
+    threshold: float = 1.0,
+) -> RunComparison:
+    """Compare a fresh run against a stored baseline.
+
+    ``threshold=1.0`` is the exact deterministic compare (any modeled
+    metric moving in its bad direction fails); a looser value such as
+    1.02 tolerates small intentional drifts during development.
+    """
+    d = diff(baseline.to_profile(), profile)
+    wall_median, _ = median_mad(wall_samples)
+    return RunComparison(
+        baseline=baseline,
+        diff=d,
+        comparable=d.comparable,
+        modeled_regressions=d.regressions(threshold=threshold),
+        wall_median=wall_median,
+        wall_band=baseline.wall.band(),
+    )

@@ -1,0 +1,243 @@
+"""Roofline-style bound attribution for simulated kernel launches.
+
+The cost model charges every launch ``launch + max(compute, memory,
+serial) + atomic`` (see :func:`repro.gpusim.costmodel.kernel_time_terms`).
+This module turns that same decomposition into an attribution: each
+launch's modeled time is split into exclusive *shares* — the binding
+resource among compute/memory/serial gets the roof term, atomics get
+their charge, and the launch overhead absorbs the remainder — so the
+shares of a launch sum to its modeled seconds exactly, and the per-run
+report explains where the paper's Table-5 optimizations buy their time.
+
+A :class:`BoundReport` aggregates the shares per kernel name, labels
+each kernel compute-/memory-/serial-/atomic-/launch-bound by its
+largest share, and adds the classic roofline quantities: arithmetic
+intensity (counted cycles per DRAM byte), compute/bandwidth
+utilization fractions, and a same-address atomic-serialization
+contention score (the fraction of the atomic charge explained by the
+hottest single address — 1.0 means the minEdge/worklist hot spot fully
+serializes the kernel's atomics).
+
+Everything here is a pure function of already-recorded
+:class:`~repro.gpusim.counters.KernelCounters` plus a
+:class:`~repro.gpusim.spec.GPUSpec`; building a report never touches a
+run in flight.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BOUND_KINDS",
+    "KernelRoofline",
+    "BoundReport",
+    "launch_shares",
+    "roofline_report",
+]
+
+SCHEMA = "repro.obs.roofline/v1"
+
+# Exclusive attribution buckets; order is the tie-break preference.
+BOUND_KINDS = ("compute", "memory", "serial", "atomic", "launch")
+
+
+def _terms(spec, k) -> dict[str, float]:
+    # Lazy: costmodel imports obs.trace, so a module-level import here
+    # would close an import cycle through the obs package __init__.
+    from ..gpusim.costmodel import kernel_time_terms
+
+    return kernel_time_terms(spec, k)
+
+
+def launch_shares(spec, k) -> dict[str, float]:
+    """Split one launch's modeled seconds into exclusive bound shares.
+
+    The binding term of ``max(compute, memory, serial)`` receives the
+    whole roof (the other two overlap beneath it and cost nothing
+    extra); ``atomic`` is its full charge; ``launch`` is the remainder
+    of the recorded modeled time — the fixed launch overhead for priced
+    kernels, and the entire time for externally priced rows such as
+    ``host_sync``.  By construction the shares sum to
+    ``k.modeled_seconds`` exactly.
+    """
+    t = _terms(spec, k)
+    shares = dict.fromkeys(BOUND_KINDS, 0.0)
+    roof = max(t["compute"], t["memory"], t["serial"])
+    if roof > 0.0:
+        binding = max(("compute", "memory", "serial"), key=lambda n: t[n])
+        shares[binding] = roof
+    shares["atomic"] = t["atomic"]
+    charged = roof + t["atomic"]
+    shares["launch"] = k.modeled_seconds - charged
+    return shares
+
+
+@dataclass
+class KernelRoofline:
+    """Aggregate bound attribution of every launch of one kernel name."""
+
+    name: str
+    launches: int = 0
+    seconds: float = 0.0
+    shares: dict = field(
+        default_factory=lambda: dict.fromkeys(BOUND_KINDS, 0.0)
+    )
+    cycles: float = 0.0
+    bytes: float = 0.0
+    atomics: int = 0
+    # Peak-rate charges of each overlapped resource (not exclusive
+    # shares): what the kernel's counted work would cost if that
+    # resource alone bound it.  Utilization fractions derive from these.
+    compute_seconds: float = 0.0
+    memory_seconds: float = 0.0
+    atomic_seconds: float = 0.0
+    atomic_serial_seconds: float = 0.0
+
+    @property
+    def bound(self) -> str:
+        """Label: the bucket holding the largest share of the time."""
+        return max(BOUND_KINDS, key=lambda n: self.shares.get(n, 0.0))
+
+    @property
+    def arithmetic_intensity(self) -> float | None:
+        """Counted thread-cycles per DRAM byte (``None`` for no traffic)."""
+        if self.bytes <= 0:
+            return None
+        return self.cycles / self.bytes
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the kernel's modeled time the counted cycles
+        would need at peak issue rate."""
+        return self.compute_seconds / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of the modeled time the counted DRAM traffic would
+        need at effective peak bandwidth."""
+        return self.memory_seconds / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def contention(self) -> float:
+        """Same-address atomic-serialization score in [0, 1].
+
+        The fraction of the atomic charge explained by the critical
+        path of the hottest single address; 1.0 means the atomic time
+        is pure serialization on one location (e.g. a worklist tail
+        pointer), ~0 means throughput-limited scattered atomics.
+        """
+        if self.atomic_seconds <= 0:
+            return 0.0
+        return min(1.0, self.atomic_serial_seconds / self.atomic_seconds)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["bound"] = self.bound
+        d["arithmetic_intensity"] = self.arithmetic_intensity
+        d["compute_utilization"] = self.compute_utilization
+        d["memory_utilization"] = self.memory_utilization
+        d["contention"] = self.contention
+        return d
+
+
+@dataclass
+class BoundReport:
+    """Per-run bound classification, kernels ordered hottest-first."""
+
+    spec_name: str = ""
+    total_seconds: float = 0.0
+    kernels: list[KernelRoofline] = field(default_factory=list)
+
+    def kernel(self, name: str) -> KernelRoofline:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+    def bounds(self) -> dict[str, str]:
+        """``{kernel name: bound label}`` for quick lookups."""
+        return {k.name: k.bound for k in self.kernels}
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "spec": self.spec_name,
+            "total_seconds": self.total_seconds,
+            "kernels": [k.to_dict() for k in self.kernels],
+        }
+
+    def render(self, *, top_n: int | None = 10) -> str:
+        """Table of the top-N kernels by modeled time with their bound
+        label, share split, and roofline quantities."""
+        rows = self.kernels if top_n is None else self.kernels[:top_n]
+        if not rows:
+            return "(no launches)"
+        name_w = max(6, max(len(k.name) for k in rows))
+        lines = [
+            f"bound report on {self.spec_name}: "
+            f"{self.total_seconds * 1e3:.4f} ms modeled",
+            f"  {'kernel'.ljust(name_w)} {'time':>10s} {'run%':>6s} "
+            f"{'bound':>8s}  {'cmp%':>5s} {'mem%':>5s} {'ser%':>5s} "
+            f"{'atm%':>5s} {'lau%':>5s}  {'AI':>8s} {'util-c':>6s} "
+            f"{'util-m':>6s} {'cont':>5s}"
+        ]
+        total = self.total_seconds or 1.0
+        for k in rows:
+            secs = k.seconds or 1.0
+            pct = {n: k.shares.get(n, 0.0) / secs * 100 for n in BOUND_KINDS}
+            ai = (
+                f"{k.arithmetic_intensity:8.3f}"
+                if k.arithmetic_intensity is not None
+                else f"{'-':>8s}"
+            )
+            lines.append(
+                f"  {k.name.ljust(name_w)} {k.seconds * 1e6:8.2f}us "
+                f"{k.seconds / total * 100:5.1f}% {k.bound:>8s}  "
+                f"{pct['compute']:5.1f} {pct['memory']:5.1f} "
+                f"{pct['serial']:5.1f} {pct['atomic']:5.1f} "
+                f"{pct['launch']:5.1f}  {ai} "
+                f"{k.compute_utilization:6.2f} {k.memory_utilization:6.2f} "
+                f"{k.contention:5.2f}"
+            )
+        if top_n is not None and len(self.kernels) > top_n:
+            rest = sum(k.seconds for k in self.kernels[top_n:])
+            lines.append(
+                f"  ... {len(self.kernels) - top_n} more kernels, "
+                f"{rest * 1e6:.2f}us"
+            )
+        return "\n".join(lines)
+
+
+def roofline_report(counters, spec) -> BoundReport:
+    """Classify every kernel of a run from its recorded counters.
+
+    ``counters`` is a :class:`~repro.gpusim.counters.RunCounters`;
+    ``spec`` must be the :class:`~repro.gpusim.spec.GPUSpec` the run was
+    priced with, or the shares will not tile the recorded times.
+    """
+    by_name: dict[str, KernelRoofline] = {}
+    for k in counters.kernels:
+        agg = by_name.get(k.name)
+        if agg is None:
+            agg = by_name[k.name] = KernelRoofline(name=k.name)
+        t = _terms(spec, k)
+        shares = launch_shares(spec, k)
+        agg.launches += 1
+        agg.seconds += k.modeled_seconds
+        for bucket, secs in shares.items():
+            agg.shares[bucket] += secs
+        agg.cycles += k.cycles
+        agg.bytes += k.bytes
+        agg.atomics += k.atomics
+        agg.compute_seconds += t["compute"]
+        agg.memory_seconds += t["memory"]
+        agg.atomic_seconds += t["atomic"]
+        agg.atomic_serial_seconds += min(t["atomic_serial"], t["atomic"])
+    kernels = sorted(by_name.values(), key=lambda k: -k.seconds)
+    return BoundReport(
+        spec_name=spec.name,
+        total_seconds=counters.total_seconds,
+        kernels=kernels,
+    )

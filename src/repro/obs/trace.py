@@ -35,7 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "host_hotspots"]
 
 
 @dataclass
@@ -256,3 +256,30 @@ class Tracer:
     def clear(self) -> None:
         self.roots = []
         self._stack = []
+
+
+def host_hotspots(tracer, top: int | None = 10) -> list[dict]:
+    """The simulator's own Python hot spots: *self* wall-clock per span.
+
+    Self time is a span's wall duration minus its children's — kernel
+    spans are instantaneous on the host, so the NumPy work of a round
+    lands on the round span itself, and the load/build/verify host
+    spans carry their own cost.  Rounds are folded into one ``round *``
+    row (they share a code path; hundreds of per-round rows would bury
+    the signal).  Returns the ``top`` heaviest rows as dicts with
+    ``name``/``kind``/``count``/``wall_seconds``, hottest first.
+    """
+    agg: dict[tuple[str, str], list] = {}
+    for sp, _depth, _parent in tracer.walk():
+        child_wall = sum(c.wall_seconds for c in sp.children)
+        self_seconds = max(0.0, sp.wall_seconds - child_wall)
+        name = "round *" if sp.kind == "round" else sp.name
+        row = agg.setdefault((name, sp.kind), [0, 0.0])
+        row[0] += 1
+        row[1] += self_seconds
+    rows = [
+        {"name": name, "kind": kind, "count": n, "wall_seconds": secs}
+        for (name, kind), (n, secs) in agg.items()
+    ]
+    rows.sort(key=lambda r: -r["wall_seconds"])
+    return rows if top is None else rows[:top]

@@ -6,6 +6,7 @@ from repro.core.eclmst import ecl_mst
 from repro.obs import (
     Tracer,
     chrome_trace_events,
+    host_hotspots,
     to_chrome_trace_json,
     to_ndjson,
     write_chrome_trace,
@@ -86,3 +87,41 @@ class TestNdjson:
         path = tmp_path / "spans.ndjson"
         write_ndjson(tr, str(path))
         assert path.read_text().endswith("\n")
+
+    def test_write_empty_tracer_valid_outputs(self, tmp_path):
+        """A run that traced nothing still exports well-formed files."""
+        empty = Tracer()
+        nd = tmp_path / "spans.ndjson"
+        ch = tmp_path / "trace.json"
+        write_ndjson(empty, str(nd))
+        write_chrome_trace(empty, str(ch))
+        assert nd.read_text() == ""
+        assert json.loads(ch.read_text()) == []
+
+
+class TestHostHotspots:
+    def test_empty_tracer(self):
+        assert host_hotspots(Tracer()) == []
+
+    def test_rows_shape_and_order(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        rows = host_hotspots(tr)
+        assert rows
+        for row in rows:
+            assert {"name", "kind", "count", "wall_seconds"} <= set(row)
+            assert row["wall_seconds"] >= 0.0
+        walls = [r["wall_seconds"] for r in rows]
+        assert walls == sorted(walls, reverse=True)
+
+    def test_rounds_folded(self, medium_graph):
+        """Per-round spans aggregate under one "round *" row instead of
+        one row per round."""
+        tr, result = _traced(medium_graph)
+        rows = {r["name"]: r for r in host_hotspots(tr, top=100)}
+        assert "round *" in rows
+        assert rows["round *"]["count"] == result.rounds
+        assert not any(name.startswith("round 1") for name in rows)
+
+    def test_top_truncates(self, medium_graph):
+        tr, _ = _traced(medium_graph)
+        assert len(host_hotspots(tr, top=2)) == 2

@@ -146,3 +146,29 @@ class TestProfileDiff:
         assert payload["comparable"] is True
         for e in payload["entries"].values():
             assert e["delta"] == 0
+            assert e["direction"] in ("lower", "higher", "exact", "info")
+
+    def test_save_load_diff_self_is_clean(self, medium_graph, tmp_path):
+        """The exporter round trip is lossless for gating purposes: a
+        profile diffed against its own save→load copy reports nothing."""
+        p = RunProfile.from_result(ecl_mst(medium_graph))
+        path = tmp_path / "p.json"
+        p.save(str(path))
+        d = diff(RunProfile.load(str(path)), p)
+        assert d.comparable
+        assert d.regressions(threshold=1.0) == {}
+
+    def test_regressions_direction_aware(self, medium_graph):
+        """An improvement in a higher-is-better metric must not be
+        flagged, and a drop must be — even at threshold 1.0."""
+        a = RunProfile.from_result(ecl_mst(medium_graph))
+        better = RunProfile.from_json(a.to_json())
+        better.metrics = dict(a.metrics)
+        better.metrics["atomics.elided"] = a.metrics["atomics.elided"] + 1
+        assert "atomics.elided" not in diff(a, better).regressions(
+            threshold=1.0
+        )
+        worse = RunProfile.from_json(a.to_json())
+        worse.metrics = dict(a.metrics)
+        worse.metrics["atomics.elided"] = a.metrics["atomics.elided"] - 1
+        assert "atomics.elided" in diff(a, worse).regressions(threshold=1.0)

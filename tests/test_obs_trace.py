@@ -65,7 +65,10 @@ class TestEclMstTracing:
         assert len(tr.roots) == 1
         run = tr.roots[0]
         assert run.kind == "run"
-        assert all(ch.kind == "phase" for ch in run.children)
+        # Direct children: the host-side "build state" span plus the
+        # algorithm phases.
+        assert all(ch.kind in ("phase", "host") for ch in run.children)
+        assert [ch.kind for ch in run.children].count("host") == 1
         rounds = [
             sp for phase in run.children for sp in phase.children
             if sp.kind == "round"

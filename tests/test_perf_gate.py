@@ -1,0 +1,271 @@
+"""Benchmark-regression gate tests: baselines, verdicts, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.gate import GateReport, perf_check, perf_compare, perf_record
+from repro.cli import main
+from repro.obs import (
+    Baseline,
+    BaselineStore,
+    RunProfile,
+    WallStats,
+    compare_to_baseline,
+    median_mad,
+    metric_direction,
+)
+
+# Tiny-but-real gate settings so the whole record/check cycle stays in
+# unit-test territory.
+INPUTS = ("internet",)
+SCALE = 0.04
+REPEATS = 2
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One shared record run: (store_dir, trajectory_dir, paths)."""
+    root = tmp_path_factory.mktemp("gate")
+    store, traj = root / "baselines", root / "trajectory"
+    paths, traj_path = perf_record(
+        INPUTS,
+        scale=SCALE,
+        repeats=REPEATS,
+        store_dir=store,
+        trajectory_dir=traj,
+        stamp="TEST",
+    )
+    return store, traj, paths, traj_path
+
+
+class TestWallStats:
+    def test_median_mad(self):
+        med, mad = median_mad([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert med == 3.0 and mad == 1.0
+        assert median_mad([]) == (0.0, 0.0)
+
+    def test_band_uses_wider_of_mad_and_relative(self):
+        tight = WallStats(samples=[1.0, 1.0, 1.0])  # MAD 0
+        assert tight.band() == pytest.approx(1.5)  # 50% relative floor
+        noisy = WallStats(samples=[1.0, 2.0, 3.0])  # MAD 1
+        assert noisy.band() == pytest.approx(2.0 + 5.0 * 1.0)
+
+    def test_round_trip(self):
+        w = WallStats(samples=[0.5, 0.7])
+        d = w.to_dict()
+        assert d["repeats"] == 2
+        assert WallStats.from_dict(d).samples == w.samples
+
+
+class TestDirectionRegistry:
+    def test_directions(self):
+        assert metric_direction("seconds.k1_reserve") == "lower"
+        assert metric_direction("atomics.elided") == "higher"
+        assert metric_direction("filter.edges_elided") == "higher"
+        assert metric_direction("run.total_weight") == "exact"
+        assert metric_direction("filter.threshold") == "info"
+
+
+def _profile(metrics: dict) -> RunProfile:
+    return RunProfile(
+        algorithm="ECL-MST", graph={"digest": "g0"}, metrics=metrics
+    )
+
+
+def _baseline(metrics: dict, walls=(1.0, 1.0)) -> Baseline:
+    return Baseline(
+        input="x",
+        code="ECL-MST",
+        system=2,
+        scale=SCALE,
+        graph={"digest": "g0"},
+        metrics=metrics,
+        wall=WallStats(samples=list(walls)),
+    )
+
+
+class TestCompareToBaseline:
+    def test_identical_passes(self):
+        m = {"seconds.k1": 1.0, "atomics.elided": 10, "run.total_weight": 5}
+        c = compare_to_baseline(_baseline(m), _profile(dict(m)), [1.0])
+        assert c.passed and not c.modeled_regressions
+
+    def test_lower_is_better_increase_fails(self):
+        c = compare_to_baseline(
+            _baseline({"seconds.k1": 1.0}), _profile({"seconds.k1": 1.01}), []
+        )
+        assert not c.passed
+        assert "seconds.k1" in c.modeled_regressions
+        assert "FAIL" in c.render()
+
+    def test_higher_is_better_drop_fails_increase_passes(self):
+        base = _baseline({"atomics.elided": 100})
+        drop = compare_to_baseline(base, _profile({"atomics.elided": 90}), [])
+        assert "atomics.elided" in drop.modeled_regressions
+        gain = compare_to_baseline(base, _profile({"atomics.elided": 110}), [])
+        assert gain.passed
+
+    def test_exact_metric_any_change_fails(self):
+        base = _baseline({"run.total_weight": 100})
+        # Even an "improvement" in weight means the MSF changed: fail.
+        c = compare_to_baseline(base, _profile({"run.total_weight": 99}), [])
+        assert "run.total_weight" in c.modeled_regressions
+
+    def test_info_metric_ignored(self):
+        base = _baseline({"filter.threshold": 7})
+        c = compare_to_baseline(base, _profile({"filter.threshold": 99}), [])
+        assert c.passed
+
+    def test_new_cost_from_zero_fails(self):
+        base = _baseline({"seconds.extra_kernel": 0.0})
+        c = compare_to_baseline(
+            base, _profile({"seconds.extra_kernel": 1e-9}), []
+        )
+        assert "seconds.extra_kernel" in c.modeled_regressions
+
+    def test_threshold_loosens_lower_metrics(self):
+        base = _baseline({"seconds.k1": 1.0})
+        c = compare_to_baseline(
+            base, _profile({"seconds.k1": 1.04}), [], threshold=1.05
+        )
+        assert c.passed
+
+    def test_wall_regression_is_advisory(self):
+        m = {"seconds.k1": 1.0}
+        c = compare_to_baseline(
+            _baseline(m, walls=[0.001, 0.001]), _profile(dict(m)), [10.0]
+        )
+        assert c.wall_regressed
+        assert c.passed  # wall never gates
+        assert "REGRESSED" in c.render() and "advisory" in c.render()
+
+    def test_fingerprint_drift_incomparable(self):
+        base = _baseline({"seconds.k1": 1.0})
+        p = RunProfile(
+            algorithm="ECL-MST",
+            graph={"digest": "OTHER"},
+            metrics={"seconds.k1": 1.0},
+        )
+        c = compare_to_baseline(base, p, [])
+        assert not c.comparable and not c.passed
+        assert "INCOMPARABLE" in c.render()
+
+
+class TestBaselineStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = BaselineStore(tmp_path / "b")
+        b = _baseline({"seconds.k1": 1.0})
+        path = store.save(b)
+        assert path.exists()
+        assert store.exists("x", "ECL-MST", 2)
+        loaded = store.load("x", "ECL-MST", 2)
+        assert loaded.to_dict() == b.to_dict()
+        assert store.list()[0].input == "x"
+
+    def test_path_slugs_unsafe_chars(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        p = store.path("road/usa (full)", "Gunrock", 1)
+        assert "/" not in p.name and " " not in p.name
+        assert p.name.endswith("__sys1.json")
+
+    def test_empty_store_lists_nothing(self, tmp_path):
+        assert BaselineStore(tmp_path / "missing").list() == []
+
+
+class TestRecordCheck:
+    def test_record_writes_baseline_and_trajectory(self, recorded):
+        store, traj, paths, traj_path = recorded
+        assert all(p.exists() for p in paths)
+        payload = json.loads(paths[0].read_text())
+        assert payload["schema"].startswith("repro.obs.baseline/")
+        assert payload["metrics"]["run.modeled_seconds"] > 0
+        assert payload["wall"]["repeats"] == REPEATS
+        entry = json.loads(traj_path.read_text())
+        assert entry["schema"].startswith("repro.bench.trajectory/")
+        assert traj_path.name == "BENCH_TEST.json"
+        assert entry["entries"][0]["bounds"]  # roofline labels captured
+        assert entry["entries"][0]["graph_digest"]
+
+    def test_clean_check_passes(self, recorded):
+        store, *_ = recorded
+        report = perf_check(INPUTS, repeats=1, store_dir=store)
+        assert report.passed
+        assert "PASS" in report.render()
+
+    def test_slowdown_trips_the_gate(self, recorded):
+        store, *_ = recorded
+        report = perf_check(INPUTS, repeats=1, store_dir=store, slowdown=2.0)
+        assert not report.passed
+        regs = report.comparisons[0].modeled_regressions
+        assert regs["run.modeled_seconds"]["ratio"] == pytest.approx(2.0)
+        # Direction-aware: the throughput *drop* is flagged too.
+        assert "run.throughput_meps" in regs
+
+    def test_missing_baseline_fails(self, tmp_path):
+        report = perf_check(
+            ("internet",), repeats=1, store_dir=tmp_path / "none"
+        )
+        assert not report.passed and report.missing == ["internet"]
+        assert "MISSING" in report.render()
+
+    def test_compare_renders_diff(self, recorded):
+        store, *_ = recorded
+        text = perf_compare(INPUTS, repeats=1, store_dir=store)
+        assert "vs baseline" in text
+        assert "run.modeled_seconds" in text
+        assert "PASS" in text
+
+    def test_gate_report_empty(self):
+        assert GateReport().passed  # nothing missing, nothing failed
+
+
+class TestPerfCli:
+    def test_record_then_check_exit_codes(self, recorded, capsys):
+        store, *_ = recorded
+        argv = [
+            "perf", "check", "--inputs", "internet", "--repeats", "1",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(argv + ["--slowdown", "2.0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_record(self, tmp_path, capsys):
+        code = main(
+            [
+                "perf", "record", "--inputs", "internet", "--repeats", "1",
+                "--scale", str(SCALE), "--store", str(tmp_path / "b"),
+                "--trajectory", str(tmp_path / "t"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline written" in out and "trajectory entry" in out
+        assert list((tmp_path / "t").glob("BENCH_*.json"))
+
+    def test_cli_compare(self, recorded, capsys):
+        store, *_ = recorded
+        code = main(
+            [
+                "perf", "compare", "--inputs", "internet", "--repeats", "1",
+                "--store", str(store), "--min-ratio", "0.1",
+            ]
+        )
+        assert code == 0
+        assert "vs baseline" in capsys.readouterr().out
+
+
+class TestCheckedInBaselines:
+    """The repo ships recorded baselines; a clean checkout must pass
+    its own gate (this is what the CI perf-gate job asserts)."""
+
+    STORE = Path(__file__).resolve().parent.parent / "benchmarks/baselines"
+
+    def test_checked_in_baselines_pass(self):
+        assert self.STORE.is_dir(), "seed baselines missing"
+        report = perf_check(repeats=1, store_dir=self.STORE)
+        assert report.comparisons, "no baselines compared"
+        assert report.passed, report.render()

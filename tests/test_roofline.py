@@ -1,0 +1,253 @@
+"""Roofline attribution tests: hand-built counters with known bounds."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.eclmst import ecl_mst
+from repro.gpusim.costmodel import gpu_kernel_seconds, kernel_time_terms
+from repro.gpusim.counters import KernelCounters, RunCounters
+from repro.gpusim.spec import RTX_3080_TI, TITAN_V
+from repro.obs import RunProfile, launch_shares, roofline_report
+from repro.obs.roofline import BOUND_KINDS
+
+SPEC = RTX_3080_TI
+
+
+def priced(**kw) -> KernelCounters:
+    """A KernelCounters priced exactly like Device.launch would."""
+    k = KernelCounters(**kw)
+    k.modeled_seconds = gpu_kernel_seconds(SPEC, k)
+    return k
+
+
+# Hand-constructed extremes: each makes one term dominate by orders of
+# magnitude so the expected label is unambiguous.
+MEMORY_BOUND = dict(name="mem", items=10, bytes=1e9, cycles=100.0)
+COMPUTE_BOUND = dict(name="cmp", items=10, cycles=1e12, bytes=64.0)
+SERIAL_BOUND = dict(name="ser", items=10, critical_items=10**7, cycles=10.0)
+ATOMIC_BOUND = dict(name="atm", items=10, atomics=10**9, cycles=10.0)
+
+
+class TestLaunchShares:
+    @pytest.mark.parametrize(
+        "kw, expected",
+        [
+            (MEMORY_BOUND, "memory"),
+            (COMPUTE_BOUND, "compute"),
+            (SERIAL_BOUND, "serial"),
+            (ATOMIC_BOUND, "atomic"),
+        ],
+    )
+    def test_extreme_kernels_classified(self, kw, expected):
+        k = priced(**kw)
+        shares = launch_shares(SPEC, k)
+        assert max(shares, key=shares.get) == expected
+
+    @pytest.mark.parametrize(
+        "kw", [MEMORY_BOUND, COMPUTE_BOUND, SERIAL_BOUND, ATOMIC_BOUND]
+    )
+    def test_shares_sum_to_modeled_seconds(self, kw):
+        k = priced(**kw)
+        shares = launch_shares(SPEC, k)
+        assert set(shares) == set(BOUND_KINDS)
+        assert np.isclose(
+            sum(shares.values()), k.modeled_seconds, rtol=1e-12, atol=0.0
+        )
+
+    def test_attribution_is_exclusive(self):
+        """Only the binding roof term is charged; the overlapped
+        resources get zero share even when their work is nonzero."""
+        k = priced(**MEMORY_BOUND)  # also has nonzero cycles
+        shares = launch_shares(SPEC, k)
+        assert shares["compute"] == 0.0
+        assert shares["memory"] > 0.0
+
+    def test_launch_share_is_the_overhead(self):
+        """For a cost-model-priced kernel the residual is exactly the
+        fixed launch overhead."""
+        k = priced(**MEMORY_BOUND)
+        shares = launch_shares(SPEC, k)
+        assert np.isclose(
+            shares["launch"], SPEC.kernel_launch_us * 1e-6, rtol=1e-12
+        )
+
+    def test_host_sync_is_pure_launch(self):
+        """host_sync rows are priced outside the kernel formula (zero
+        counters, externally set time) — the whole time lands in the
+        launch bucket."""
+        k = KernelCounters(name="host_sync")
+        k.modeled_seconds = SPEC.host_sync_us * 1e-6
+        shares = launch_shares(SPEC, k)
+        assert shares["launch"] == k.modeled_seconds
+        assert sum(shares.values()) == k.modeled_seconds
+
+
+class TestKernelRoofline:
+    def _report_of(self, *kernels):
+        rc = RunCounters()
+        for k in kernels:
+            rc.add(k)
+        return roofline_report(rc, SPEC)
+
+    def test_bound_labels(self):
+        rep = self._report_of(
+            priced(**MEMORY_BOUND),
+            priced(**COMPUTE_BOUND),
+            priced(**ATOMIC_BOUND),
+        )
+        assert rep.bounds() == {
+            "mem": "memory", "cmp": "compute", "atm": "atomic"
+        }
+
+    def test_aggregation_over_launches(self):
+        a, b = priced(**MEMORY_BOUND), priced(**MEMORY_BOUND)
+        rep = self._report_of(a, b)
+        kr = rep.kernel("mem")
+        assert kr.launches == 2
+        assert np.isclose(kr.seconds, a.modeled_seconds + b.modeled_seconds)
+        assert np.isclose(sum(kr.shares.values()), kr.seconds, rtol=1e-12)
+        assert kr.bytes == 2e9
+
+    def test_hottest_first_ordering(self):
+        rep = self._report_of(priced(**COMPUTE_BOUND), priced(**MEMORY_BOUND))
+        assert rep.kernels[0].seconds >= rep.kernels[1].seconds
+
+    def test_arithmetic_intensity(self):
+        kr = self._report_of(priced(**COMPUTE_BOUND)).kernel("cmp")
+        assert np.isclose(kr.arithmetic_intensity, 1e12 / 64.0)
+        no_traffic = self._report_of(priced(**ATOMIC_BOUND)).kernel("atm")
+        assert no_traffic.arithmetic_intensity is None
+
+    def test_utilizations(self):
+        """The binding resource's utilization approaches 1; the
+        overlapped one stays proportionally small."""
+        kr = self._report_of(priced(**MEMORY_BOUND)).kernel("mem")
+        assert 0.9 < kr.memory_utilization <= 1.0
+        assert kr.compute_utilization < 0.01
+
+    def test_contention_score(self):
+        # All 10^6 atomics hammer one address: serialization dominates.
+        hot = priced(
+            name="hot", atomics=10**6, atomic_max_contention=10**6
+        )
+        # Same op count spread wide: throughput-limited.
+        scattered = priced(name="cold", atomics=10**6, atomic_max_contention=1)
+        rep = self._report_of(hot, scattered)
+        assert rep.kernel("hot").contention == 1.0
+        assert rep.kernel("cold").contention < 0.01
+        no_atomics = self._report_of(priced(**MEMORY_BOUND)).kernel("mem")
+        assert no_atomics.contention == 0.0
+
+    def test_missing_kernel_raises(self):
+        with pytest.raises(KeyError):
+            self._report_of(priced(**MEMORY_BOUND)).kernel("nope")
+
+    def test_to_dict_json_serializable(self):
+        rep = self._report_of(priced(**MEMORY_BOUND), priced(**ATOMIC_BOUND))
+        d = json.loads(json.dumps(rep.to_dict()))
+        assert d["schema"].startswith("repro.obs.roofline/")
+        assert {k["name"] for k in d["kernels"]} == {"mem", "atm"}
+        for k in d["kernels"]:
+            assert k["bound"] in BOUND_KINDS
+
+    def test_render(self):
+        rep = self._report_of(priced(**MEMORY_BOUND), priced(**COMPUTE_BOUND))
+        text = rep.render()
+        assert "mem" in text and "cmp" in text and "bound" in text
+        assert roofline_report(RunCounters(), SPEC).render() == "(no launches)"
+
+    def test_render_top_n_truncates(self):
+        kernels = [
+            priced(name=f"k{i}", bytes=1e6 * (i + 1)) for i in range(5)
+        ]
+        text = self._report_of(*kernels).render(top_n=2)
+        assert "3 more kernels" in text
+
+
+class TestRealRunReport:
+    def test_shares_tile_the_run(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        rep = roofline_report(r.counters, RTX_3080_TI)
+        assert np.isclose(rep.total_seconds, r.counters.total_seconds)
+        share_sum = sum(
+            sum(k.shares.values()) for k in rep.kernels
+        )
+        assert np.isclose(share_sum, rep.total_seconds, rtol=1e-9)
+
+    def test_wrong_spec_does_not_tile(self, medium_graph):
+        """Pricing was done on the 3080 Ti; attributing against the
+        Titan V roofline cannot tile the recorded times."""
+        r = ecl_mst(medium_graph, gpu=RTX_3080_TI)
+        rep = roofline_report(r.counters, TITAN_V)
+        share_sum = sum(sum(k.shares.values()) for k in rep.kernels)
+        # Sums still match by construction (launch is the residual) —
+        # but residuals go negative, which the right spec never does.
+        right = roofline_report(r.counters, RTX_3080_TI)
+        assert all(
+            k.shares["launch"] >= -1e-18 for k in right.kernels
+        )
+        assert np.isclose(share_sum, rep.total_seconds, rtol=1e-9)
+
+    def test_report_is_a_pure_observer(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        before = [k.to_dict() for k in r.counters.kernels]
+        roofline_report(r.counters, RTX_3080_TI).render()
+        assert [k.to_dict() for k in r.counters.kernels] == before
+
+
+class TestProfileIntegration:
+    def test_profile_carries_roofline(self, medium_graph):
+        """ecl_mst stashes its GPUSpec in extra, so from_result can
+        attribute without the caller re-plumbing the spec."""
+        p = RunProfile.from_result(ecl_mst(medium_graph))
+        assert p.roofline
+        names = {k["name"] for k in p.roofline["kernels"]}
+        assert "k1_reserve" in names
+        assert "bound" in p.render()
+
+    def test_profile_roofline_round_trips(self, medium_graph, tmp_path):
+        p = RunProfile.from_result(ecl_mst(medium_graph))
+        path = tmp_path / "p.json"
+        p.save(str(path))
+        q = RunProfile.load(str(path))
+        assert q.roofline == p.roofline
+
+    def test_explicit_spec_overrides_extra(self, medium_graph):
+        r = ecl_mst(medium_graph)
+        p = RunProfile.from_result(r, gpu=TITAN_V)
+        assert p.roofline["spec"] == TITAN_V.name
+
+
+class TestSlowedSpec:
+    @pytest.mark.parametrize(
+        "kw", [MEMORY_BOUND, COMPUTE_BOUND, SERIAL_BOUND, ATOMIC_BOUND]
+    )
+    def test_all_terms_scale_exactly(self, kw):
+        """The synthetic slowdown must scale every modeled time by
+        exactly the factor — that is what makes the CI gate's injected
+        regression deterministic."""
+        k = KernelCounters(**kw)
+        base = gpu_kernel_seconds(SPEC, k)
+        slow = gpu_kernel_seconds(SPEC.slowed(2.0), k)
+        assert np.isclose(slow, 2.0 * base, rtol=1e-12)
+
+    def test_terms_decomposition_matches_price(self):
+        k = KernelCounters(
+            name="x", cycles=1e6, bytes=1e6, atomics=1000,
+            atomic_max_contention=10, critical_items=50,
+        )
+        t = kernel_time_terms(SPEC, k)
+        assert np.isclose(
+            gpu_kernel_seconds(SPEC, k),
+            t["launch"] + max(t["compute"], t["memory"], t["serial"])
+            + t["atomic"],
+            rtol=1e-15,
+        )
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SPEC.slowed(0.0)
+        with pytest.raises(ValueError):
+            SPEC.slowed(-1.0)
