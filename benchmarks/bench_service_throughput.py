@@ -1,0 +1,122 @@
+"""Service throughput — cold vs warm batched MST queries.
+
+Measures the query engine's three pipeline levels end to end: a cold
+batch pays graph build + MST execution per distinct spec, a warm batch
+of the same specs is answered from the fingerprint-keyed result cache,
+and a duplicate-heavy batch exercises in-flight dedup.  The artifact
+records queries/second per regime; the cold-vs-warm ratio is the
+cache's amortization factor reported in EXPERIMENTS.md.
+"""
+
+import dataclasses
+
+from repro.generators.suite import MST_INPUT_NAMES
+from repro.service import MSTService, Query, ServiceConfig
+
+from _artifacts import write_artifact
+
+# The service pins its own scale per query; the shared suite_graphs
+# fixture is not used so cold runs really pay the build cost.
+SERVICE_SCALE = 0.06
+INPUTS = MST_INPUT_NAMES
+
+
+def _queries(tag: str):
+    return [
+        Query(input=name, id=f"{name}#{tag}", scale=SERVICE_SCALE)
+        for name in INPUTS
+    ]
+
+
+def test_cold_batch(benchmark):
+    """Every query misses: graph build + MST execution per input."""
+
+    def cold():
+        with MSTService(ServiceConfig(workers=4)) as svc:
+            return svc.run_batch(_queries("cold"))
+
+    outs = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert all(o.ok for o in outs)
+    assert not any(o.cache_hit for o in outs)
+
+
+def test_warm_batch(benchmark):
+    """Every query hits the result cache of a pre-warmed service."""
+    svc = MSTService(ServiceConfig(workers=4))
+    cold = svc.run_batch(_queries("seed"))
+    assert all(o.ok for o in cold)
+
+    counter = iter(range(10**6))
+
+    def warm():
+        tag = f"w{next(counter)}"
+        return svc.run_batch(
+            [dataclasses.replace(q, id=f"{q.input}#{tag}") for q in _queries(tag)]
+        )
+
+    outs = benchmark(warm)
+    svc.close()
+    assert all(o.ok for o in outs)
+    assert all(o.cache_hit for o in outs)
+    # Warm answers are bit-identical to the cold ones.
+    by_input = {o.input: o for o in cold}
+    for o in outs:
+        assert o.identity() == by_input[o.input].identity()
+
+
+def test_dedup_batch(benchmark):
+    """A duplicate-heavy batch coalesces to one execution per spec."""
+    dupes = 8
+
+    def fanout():
+        with MSTService(ServiceConfig(workers=4)) as svc:
+            outs = svc.run_batch(
+                [
+                    Query(input=name, id=f"{name}#d{i}", scale=SERVICE_SCALE)
+                    for name in INPUTS[:4]
+                    for i in range(dupes)
+                ]
+            )
+            return outs, svc.metrics()
+
+    (outs, metrics) = benchmark.pedantic(fanout, rounds=3, iterations=1)
+    assert all(o.ok for o in outs)
+    assert metrics["service.executed"] == 4.0
+
+
+def test_service_artifact(benchmark, out_dir):
+    """One measured cold/warm/dedup summary as a CSV artifact."""
+    import time
+
+    def measure():
+        rows = ["regime,queries,wall_seconds,qps,cache_hit_ratio"]
+        with MSTService(ServiceConfig(workers=4)) as svc:
+            for regime, batch in (
+                ("cold", _queries("a0")),
+                ("warm", _queries("a1")),
+                (
+                    "dedup",
+                    [
+                        Query(input=name, id=f"{name}#x{i}", scale=SERVICE_SCALE)
+                        for name in INPUTS
+                        for i in range(4)
+                    ],
+                ),
+            ):
+                t0 = time.perf_counter()
+                outs = svc.run_batch(batch)
+                wall = time.perf_counter() - t0
+                assert all(o.ok for o in outs)
+                hits = sum(1 for o in outs if o.cache_hit)
+                rows.append(
+                    f"{regime},{len(outs)},{wall:.4f},"
+                    f"{len(outs) / wall:.1f},{hits / len(outs):.2f}"
+                )
+        return "\n".join(rows)
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = out.splitlines()[1:]
+    qps = {l.split(",")[0]: float(l.split(",")[3]) for l in lines}
+    # The cache must amortize: warm throughput beats cold.
+    assert qps["warm"] > qps["cold"]
+    write_artifact(out_dir, "service_throughput.csv", out)

@@ -15,13 +15,18 @@ Subcommands::
     repro-mst trace <input> [--format chrome|ndjson] [--out FILE]
     repro-mst profile <input> [--baseline FILE] [--format json|chrome|ndjson]
     repro-mst chaos <input> [--faults N --seed S]  # fault-injection campaign
+    repro-mst serve --batch FILE [--workers N --pool thread|process]
+    repro-mst sweep <suite> [--repeat N --record [DIR]]
 
 For backwards compatibility, a bare experiment key also works:
 ``python -m repro table4`` ≡ ``python -m repro exp table4``.
 
 Exit codes: 0 success; 1 not-connected / campaign failure; 2 usage;
 3 malformed input (:class:`~repro.errors.GraphFormatError`);
-4 verification failure; 5 unrecovered device fault.
+4 verification failure; 5 unrecovered device fault.  ``serve`` and
+``sweep`` apply the same taxonomy per query and exit with the most
+severe per-query code — a malformed query fails its line in the
+output NDJSON without aborting the batch.
 """
 
 from __future__ import annotations
@@ -391,6 +396,112 @@ def _cmd_perf(args) -> int:
     return 0 if report.passed else 1
 
 
+def _service_from_args(args):
+    from .service import MSTService, ServiceConfig
+
+    return MSTService(
+        ServiceConfig(
+            workers=args.workers,
+            pool=args.pool,
+            result_cache_size=args.cache_size,
+            graph_cache_size=args.graph_cache_size,
+            max_queue_depth=args.queue_depth,
+            default_timeout_s=args.timeout,
+        )
+    )
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from .service import run_batch_lines, summarize
+
+    if args.batch == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = Path(args.batch).read_text().splitlines()
+        except OSError as exc:
+            from .errors import EXIT_INPUT_ERROR
+
+            print(f"input error: cannot read batch file: {exc}", file=sys.stderr)
+            return EXIT_INPUT_ERROR
+    t0 = time.perf_counter()
+    with _service_from_args(args) as service:
+        outcomes = run_batch_lines(lines, service)
+        summary = summarize(
+            outcomes, service, wall_seconds=time.perf_counter() - t0
+        )
+    _emit("\n".join(o.to_json_line() for o in outcomes), args.out)
+    print(summary.render(), file=sys.stderr)
+    return summary.exit_code
+
+
+def _cmd_sweep(args) -> int:
+    import time
+
+    from .service import (
+        batch_exit_code,
+        record_service_trajectory,
+        summarize,
+        sweep_queries,
+    )
+
+    one_pass = sweep_queries(
+        args.suite,
+        scale=args.scale,
+        code=args.code,
+        system=args.system,
+        repeat=1,
+    )
+    outcomes = []
+    with _service_from_args(args) as service:
+        # Cold pass first, then the warm repeats — measured separately
+        # so the summary (and the recorded trajectory entry) reports
+        # the cache's amortization as cold-vs-warm throughput.
+        t0 = time.perf_counter()
+        cold_outcomes = service.run_batch(one_pass)
+        cold = summarize(
+            cold_outcomes, service, wall_seconds=time.perf_counter() - t0
+        )
+        outcomes.extend(cold_outcomes)
+        warm = None
+        if args.repeat > 1:
+            import dataclasses
+
+            warm_queries = [
+                dataclasses.replace(q, id=f"{q.input}#r{rep}")
+                for rep in range(1, args.repeat)
+                for q in one_pass
+            ]
+            t1 = time.perf_counter()
+            warm_outcomes = service.run_batch(warm_queries)
+            warm = summarize(
+                warm_outcomes, service, wall_seconds=time.perf_counter() - t1
+            )
+            outcomes.extend(warm_outcomes)
+    if args.out:
+        _emit("\n".join(o.to_json_line() for o in outcomes), args.out)
+    print(f"== cold pass ==\n{cold.render()}")
+    if warm is not None:
+        print(f"\n== warm passes (x{args.repeat - 1}) ==\n{warm.render()}")
+        if cold.qps > 0:
+            print(f"\nwarm/cold throughput: {warm.qps / cold.qps:.2f}x")
+    if args.record:
+        path = record_service_trajectory(
+            cold,
+            warm,
+            selection=args.suite,
+            scale=args.scale,
+            code=args.code,
+            system=args.system,
+            workers=args.workers,
+            trajectory_dir=args.record,
+        )
+        print(f"trajectory entry: {path}")
+    return batch_exit_code(outcomes)
+
+
 def _cmd_mst(args) -> int:
     from .core.eclmst import ecl_mst
 
@@ -534,6 +645,82 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_prof.set_defaults(fn=_cmd_profile)
 
+    def _service_common(p) -> None:
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument(
+            "--pool", choices=("thread", "process"), default="thread"
+        )
+        p.add_argument(
+            "--cache-size",
+            type=int,
+            default=256,
+            dest="cache_size",
+            help="result-cache capacity (0 disables)",
+        )
+        p.add_argument(
+            "--graph-cache-size",
+            type=int,
+            default=32,
+            dest="graph_cache_size",
+            help="build-cache capacity for loaded graphs (0 disables)",
+        )
+        p.add_argument(
+            "--queue-depth",
+            type=int,
+            default=64,
+            dest="queue_depth",
+            help="max in-flight queries (submits block when full)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="default per-query timeout in seconds",
+        )
+        p.add_argument("--out", help="write result NDJSON to this file")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a batch of MST queries (NDJSON in, NDJSON out)",
+    )
+    p_serve.add_argument(
+        "--batch",
+        required=True,
+        help="NDJSON query file ('-' reads stdin)",
+    )
+    _service_common(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run the generator suite through the query service",
+    )
+    p_sweep.add_argument(
+        "suite",
+        help="'all', 'mst', or comma-separated suite input names",
+    )
+    # Sweep defaults to the perf gate's small scale: a full-suite pass
+    # should stay in smoke territory.
+    p_sweep.add_argument("--scale", type=float, default=0.06)
+    p_sweep.add_argument("--code", default="ECL-MST")
+    p_sweep.add_argument("--system", type=int, choices=(1, 2), default=2)
+    p_sweep.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="passes over the suite (>1 measures warm throughput)",
+    )
+    p_sweep.add_argument(
+        "--record",
+        nargs="?",
+        const="benchmarks/trajectory",
+        default=None,
+        help="append a BENCH_SERVICE_<stamp>.json trajectory entry "
+        "(optionally to DIR)",
+    )
+    _service_common(p_sweep)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
     from .bench.gate import (
         BASELINE_DIR,
         DEFAULT_GATE_INPUTS,
@@ -630,6 +817,8 @@ def main(argv: list[str] | None = None) -> int:
         "profile",
         "chaos",
         "perf",
+        "serve",
+        "sweep",
     }
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["exp", *argv]

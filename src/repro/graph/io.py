@@ -28,7 +28,24 @@ from .build import build_csr
 from .csr import CSRGraph
 from .weights import WEIGHT_BOUND
 
-__all__ = ["save_ecl", "load_ecl", "save_edge_list", "load_edge_list"]
+__all__ = [
+    "save_ecl",
+    "load_ecl",
+    "save_edge_list",
+    "load_edge_list",
+    "file_signature",
+]
+
+
+def file_signature(path: str | os.PathLike) -> tuple[int, int]:
+    """Cheap change-detection signature for a graph file.
+
+    ``(size, mtime_ns)`` is the build-cache key component for file
+    inputs: editing or replacing the file invalidates cached graphs
+    without hashing gigabytes on every query.
+    """
+    st = os.stat(path)
+    return (st.st_size, st.st_mtime_ns)
 
 _MAGIC = b"ECLG\x01\x00"
 

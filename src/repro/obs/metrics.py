@@ -41,6 +41,8 @@ _HIGHER_IS_BETTER = {
     "atomics.elision_rate",
     "filter.edges_elided",
     "run.throughput_meps",
+    "service.qps",
+    "service.cache_hit_ratio",
 }
 _EXACT = {
     "run.total_weight",
@@ -49,6 +51,11 @@ _EXACT = {
 }
 _INFO = {
     "filter.threshold",
+    # Service occupancy/volume gauges describe load, not performance.
+    "service.queue_depth",
+    "service.queries",
+    "service.graph_cache_size",
+    "service.result_cache_size",
 }
 
 

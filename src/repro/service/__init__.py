@@ -1,0 +1,42 @@
+"""Batched MST query service.
+
+The serving path of the reproduction: many queries, one process,
+amortized work.  See :mod:`~repro.service.engine` for the three-level
+pipeline (result cache → build cache → worker pool with in-flight
+dedup), :mod:`~repro.service.query` for the query model and cache-key
+normalization, and :mod:`~repro.service.batch` for the NDJSON batch
+front end used by ``repro-mst serve`` and ``repro-mst sweep``.
+"""
+
+from .batch import (
+    BatchSummary,
+    parse_batch_lines,
+    record_service_trajectory,
+    run_batch_lines,
+    summarize,
+    sweep_queries,
+)
+from .cache import LRUCache
+from .engine import MSTService, ServiceConfig, Ticket, execute_query
+from .outcome import QueryOutcome, batch_exit_code, classify_error
+from .query import Query, QueryError, result_key
+
+__all__ = [
+    "BatchSummary",
+    "LRUCache",
+    "MSTService",
+    "Query",
+    "QueryError",
+    "QueryOutcome",
+    "ServiceConfig",
+    "Ticket",
+    "batch_exit_code",
+    "classify_error",
+    "execute_query",
+    "parse_batch_lines",
+    "record_service_trajectory",
+    "result_key",
+    "run_batch_lines",
+    "summarize",
+    "sweep_queries",
+]

@@ -1,0 +1,84 @@
+"""A small thread-safe LRU cache with hit/miss accounting.
+
+Used twice by the service: as the *result cache* (cache key →
+:class:`~repro.service.outcome.QueryOutcome`) and as the *build cache*
+(graph source key → loaded :class:`~repro.graph.csr.CSRGraph`), the
+latter because graph loading/generation dominates host wall time per
+the PR 3 ``host_hotspots`` attribution.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses),
+    which keeps the call sites branch-free.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            if self.capacity <= 0 or key not in self._data:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, creating (and caching) it on miss.
+
+        The factory runs outside the lock — a concurrent miss on the
+        same key may build twice and last-write-wins, which is safe for
+        the service's idempotent values (graphs, outcomes).
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,534 @@
+"""The batched MST query engine.
+
+:class:`MSTService` serves many :class:`~repro.service.query.Query`
+objects through a three-level pipeline:
+
+1. **Result cache** — an LRU keyed on *graph fingerprint × canonical
+   config hash* (:func:`~repro.service.query.result_key`).  An
+   identical query is answered from memory with a bit-identical
+   :class:`~repro.service.outcome.QueryOutcome` (same weight, edge-set
+   digest, counters-derived metrics), marked ``served_by =
+   "result-cache"``.
+2. **Build cache** — an LRU of loaded/generated
+   :class:`~repro.graph.csr.CSRGraph` objects keyed on the input
+   *source* (suite name + scale, or file path + size/mtime signature
+   via :func:`repro.graph.io.file_signature`), so queries that differ
+   only in config/system skip the load — the dominant host cost per
+   the PR 3 ``host_hotspots`` table.
+3. **Worker pool** — thread- or process-based, with a bounded queue
+   (submit blocks when full), per-query timeout/cancellation, and
+   in-flight deduplication: concurrent queries with the same spec key
+   attach to one execution (``served_by = "coalesced"``).
+
+Each query executes under its own tracer (host ``load``/``run`` spans
+feed the outcome's latency breakdown) and its own resilience scope:
+faults and the recovery ladder are per-query, and a failing query
+returns a typed error outcome instead of poisoning the pool.
+
+The service exports aggregate metrics into a
+:class:`~repro.obs.metrics.MetricsRegistry` — ``service.qps``,
+``service.cache_hit_ratio``, ``service.queue_depth``,
+``service.p50_latency`` / ``service.p95_latency`` and the underlying
+counters — via :meth:`MSTService.metrics`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from .cache import LRUCache
+from .outcome import (
+    SERVED_CACHE,
+    SERVED_COALESCED,
+    SERVED_EXECUTE,
+    QueryOutcome,
+    edges_digest,
+)
+from .query import Query, QueryError, result_key
+
+__all__ = ["MSTService", "ServiceConfig", "Ticket", "execute_query"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service sizing and scheduling knobs."""
+
+    workers: int = 4
+    pool: str = "thread"  # "thread" | "process"
+    result_cache_size: int = 256
+    graph_cache_size: int = 32
+    max_queue_depth: int = 64  # in-flight bound; submit blocks when full
+    default_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', got {self.pool!r}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+
+# ----------------------------------------------------------------------
+# Query execution (pure function of query + graph; also the process-
+# pool job, so it must stay importable at module top level)
+# ----------------------------------------------------------------------
+def _graph_source_key(query: Query) -> tuple:
+    """Build-cache key for the query's input source.
+
+    File inputs carry a size/mtime signature so an edited file is a
+    miss; suite inputs are keyed on (name, scale) — generation is
+    seeded and deterministic.
+    """
+    from ..cli import _FORMAT_LOADERS  # single source of format truth
+
+    p = Path(query.input)
+    if p.suffix in _FORMAT_LOADERS and p.exists():
+        from ..graph.io import file_signature
+
+        return ("file", str(p.resolve()), file_signature(p))
+    return ("suite", query.input, repr(float(query.scale)))
+
+
+def _load_graph_for(query: Query):
+    """Load or generate the query's input graph (uncached)."""
+    kind = _graph_source_key(query)[0]
+    if kind == "file":
+        from ..cli import _load_graph
+
+        return _load_graph(query.input)
+    from ..generators import suite
+
+    try:
+        return suite.build(query.input, scale=query.scale)
+    except KeyError as exc:
+        raise QueryError(f"query {query.id}: {exc.args[0]}") from None
+
+
+def _build_fault_plan(query: Query, config, graph, gpu):
+    """A seeded per-query fault plan (chaos queries), horizons taken
+    from a fault-free dry run as the campaign module does."""
+    from ..core.eclmst import ecl_mst
+    from ..resilience.faults import FAULT_KINDS, FaultPlan
+
+    dry = ecl_mst(graph, config, gpu=gpu, fault_plan=FaultPlan(seed=query.fault_seed or 0))
+    fi = dry.extra["fault_injection"]
+    return FaultPlan.generate(
+        seed=query.fault_seed or 0,
+        n_faults=query.n_faults,
+        launches=fi["launches_seen"],
+        atomic_calls=fi["atomic_calls_seen"],
+        kinds=query.fault_kinds or FAULT_KINDS,
+    )
+
+
+def execute_query(query: Query, graph=None, *, tracer=None) -> QueryOutcome:
+    """Run one query to completion and summarize it as an outcome.
+
+    Raises nothing query-related: every typed failure becomes an error
+    outcome.  ``graph`` may be pre-resolved (build cache); ``tracer``
+    defaults to a fresh per-query :class:`Tracer`.
+    """
+    from ..obs.profile import graph_fingerprint
+
+    tracer = tracer or Tracer()
+    t0 = time.perf_counter()
+    try:
+        with tracer.span(f"query {query.id}", kind="service", query=query.id):
+            with tracer.span("load input", kind="host", input=query.input):
+                if graph is None:
+                    graph = _load_graph_for(query)
+                fingerprint = graph_fingerprint(graph)
+            load_s = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            with tracer.span("run", kind="host", code=query.code):
+                result = _run_code(query, graph, tracer)
+            run_s = time.perf_counter() - t1
+    except BaseException as exc:  # typed failures -> error outcome
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return QueryOutcome.failure(
+            query, exc, latency_s=time.perf_counter() - t0
+        )
+    from ..obs.metrics import collect_result_metrics
+
+    return QueryOutcome(
+        id=query.id,
+        input=query.input,
+        code=query.code,
+        system=query.system,
+        scale=query.scale,
+        algorithm=result.algorithm,
+        graph=fingerprint,
+        total_weight=int(result.total_weight),
+        num_mst_edges=int(result.num_mst_edges),
+        rounds=int(result.rounds),
+        modeled_seconds=float(result.modeled_seconds),
+        mst_digest=edges_digest(result),
+        metrics=collect_result_metrics(result),
+        resilience=dict(result.extra.get("resilience") or {}),
+        result_key=result_key(fingerprint["digest"], query),
+        load_seconds=load_s,
+        run_seconds=run_s,
+        latency_s=time.perf_counter() - t0,
+    )
+
+
+def _run_code(query: Query, graph, tracer):
+    from ..baselines.registry import get_runner
+    from ..bench.harness import SYSTEM1, SYSTEM2
+
+    system = SYSTEM1 if query.system == 1 else SYSTEM2
+    if query.code == "ECL-MST":
+        from ..core.eclmst import ecl_mst
+
+        config = query.resolved_config()
+        resilience = None
+        if query.check_cadence > 0:
+            from ..resilience import ResilienceConfig
+
+            resilience = ResilienceConfig(check_cadence=query.check_cadence)
+        fault_plan = None
+        if query.n_faults > 0:
+            fault_plan = _build_fault_plan(query, config, graph, system.gpu)
+        return ecl_mst(
+            graph,
+            config,
+            gpu=system.gpu,
+            verify=query.verify,
+            tracer=tracer,
+            resilience=resilience,
+            fault_plan=fault_plan,
+        )
+    try:
+        runner = get_runner(query.code)
+    except KeyError:
+        from ..baselines.registry import RUNNERS
+
+        raise QueryError(
+            f"query {query.id}: unknown code {query.code!r}; "
+            f"choose from {', '.join(RUNNERS)}"
+        ) from None
+    result = runner.run(graph, gpu=system.gpu, cpu=system.cpu, tracer=tracer)
+    if query.verify:
+        from ..core.verify import verify_mst
+
+        verify_mst(result)
+    return result
+
+
+def _process_job(query_dict: dict) -> dict:
+    """Process-pool entry point: parse, execute, return a plain dict.
+
+    Runs in a worker process with no shared caches — the parent still
+    dedups in flight and caches the returned outcome.
+    """
+    query = Query.from_dict(query_dict)
+    return execute_query(query).to_dict()
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+@dataclass
+class Ticket:
+    """Handle for one submitted query.
+
+    ``outcome()`` waits (honoring the query's timeout, measured from
+    submission) and always returns a :class:`QueryOutcome` — timeouts
+    become ``status="timeout"`` outcomes, and a query still queued at
+    its deadline is cancelled cleanly without ever executing.
+    """
+
+    query: Query
+    future: concurrent.futures.Future
+    submitted_at: float
+    primary: bool  # False when attached to an in-flight duplicate
+    service: "MSTService"
+
+    def outcome(self) -> QueryOutcome:
+        q = self.query
+        timeout = (
+            q.timeout_s
+            if q.timeout_s is not None
+            else self.service.config.default_timeout_s
+        )
+        remaining = None
+        if timeout is not None:
+            remaining = max(0.0, self.submitted_at + timeout - time.perf_counter())
+        try:
+            raw = self.future.result(timeout=remaining)
+        except concurrent.futures.TimeoutError:
+            return self.service._on_timeout(self, timeout)
+        except concurrent.futures.CancelledError:
+            return self.service._timeout_outcome(
+                self, timeout, "cancelled while queued"
+            )
+        if isinstance(raw, dict):  # process pool returns plain dicts
+            raw = QueryOutcome.from_dict(raw)
+        return self.service._personalize(self, raw)
+
+
+class MSTService:
+    """Batched MST query engine (see module docstring).
+
+    Usable as a context manager; :meth:`close` drains the pool.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = registry or MetricsRegistry()
+        self.results = LRUCache(self.config.result_cache_size)
+        self.graphs = LRUCache(self.config.graph_cache_size)
+        self._lock = threading.Lock()
+        self._inflight: dict[str, concurrent.futures.Future] = {}
+        # Learned spec-key -> result-key mapping: lets the submit path
+        # answer repeat queries from the result cache without loading
+        # the graph (and gives process mode result-cache semantics,
+        # since worker processes share no memory with the parent).
+        self._spec_to_rkey: dict[str, str] = {}
+        self._slots = threading.BoundedSemaphore(self.config.max_queue_depth)
+        self._depth = 0
+        self._first_submit: float | None = None
+        self._last_done: float | None = None
+        self._executor = self._make_executor()
+
+    def _make_executor(self):
+        if self.config.pool == "process":
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.workers
+            )
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="mst-service",
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> Ticket:
+        """Enqueue one query; blocks while the queue is at capacity."""
+        now = time.perf_counter()
+        self.registry.counter("service.queries").inc()
+        with self._lock:
+            if self._first_submit is None:
+                self._first_submit = now
+            key = None
+            try:
+                key = query.spec_key()
+            except QueryError:
+                pass  # unresolvable config: fails in the worker instead
+            if key is not None and key in self._inflight:
+                self.registry.counter("service.dedup_hits").inc()
+                return Ticket(query, self._inflight[key], now, False, self)
+            rkey = self._spec_to_rkey.get(key) if key is not None else None
+        if rkey is not None:
+            cached = self.results.get(rkey)
+            if cached is not None:
+                self.registry.counter("service.result_cache_hits").inc()
+                done: concurrent.futures.Future = concurrent.futures.Future()
+                done.set_result(replace(cached, served_by=SERVED_CACHE))
+                return Ticket(query, done, now, True, self)
+        self._slots.acquire()
+        deadline = None
+        timeout = (
+            query.timeout_s
+            if query.timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        if timeout is not None:
+            deadline = now + timeout
+        if self.config.pool == "process":
+            self.registry.counter("service.executed").inc()
+            future = self._executor.submit(_process_job, query.to_dict())
+        else:
+            future = self._executor.submit(self._thread_job, query, deadline)
+        with self._lock:
+            self._depth += 1
+            self.registry.gauge("service.queue_depth").set(self._depth)
+            if key is not None:
+                self._inflight[key] = future
+        # Registered after the in-flight map so a fast completion still
+        # cleans up: a callback added to a finished future fires
+        # immediately in this thread.
+        future.add_done_callback(lambda _f: self._release(key))
+        return Ticket(query, future, now, True, self)
+
+    def _release(self, key: str | None) -> None:
+        with self._lock:
+            self._depth -= 1
+            self.registry.gauge("service.queue_depth").set(self._depth)
+            self._last_done = time.perf_counter()
+            if key is not None:
+                self._inflight.pop(key, None)
+        self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Worker side (thread pool)
+    # ------------------------------------------------------------------
+    def _thread_job(self, query: Query, deadline: float | None) -> QueryOutcome:
+        if deadline is not None and time.perf_counter() > deadline:
+            # Spent its whole budget waiting in the queue: never run.
+            return QueryOutcome.failure(
+                query,
+                TimeoutError("deadline expired while queued"),
+                status="timeout",
+            )
+        tracer = Tracer()
+        try:
+            graph = self._resolve_graph(query)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.registry.counter("service.errors").inc()
+            return QueryOutcome.failure(query, exc)
+        from ..obs.profile import graph_fingerprint
+
+        rkey = result_key(graph_fingerprint(graph)["digest"], query)
+        cached = self.results.get(rkey)
+        if cached is not None:
+            self.registry.counter("service.result_cache_hits").inc()
+            return replace(cached, served_by=SERVED_CACHE)
+        self.registry.counter("service.executed").inc()
+        outcome = execute_query(query, graph, tracer=tracer)
+        if outcome.ok:
+            self.results.put(rkey, outcome)
+        else:
+            self.registry.counter("service.errors").inc()
+        return outcome
+
+    def _resolve_graph(self, query: Query):
+        skey = _graph_source_key(query)
+        before = self.graphs.hits
+        graph = self.graphs.get_or_create(skey, lambda: _load_graph_for(query))
+        if self.graphs.hits > before:
+            self.registry.counter("service.graph_cache_hits").inc()
+        return graph
+
+    # ------------------------------------------------------------------
+    # Ticket support
+    # ------------------------------------------------------------------
+    def _personalize(self, ticket: Ticket, raw: QueryOutcome) -> QueryOutcome:
+        """Each waiter gets its own copy: its id, its latency, and a
+        ``coalesced`` marker when it attached to another execution."""
+        latency = time.perf_counter() - ticket.submitted_at
+        served = raw.served_by
+        if not ticket.primary and raw.ok:
+            served = SERVED_COALESCED
+        if raw.ok and raw.result_key:
+            if raw.served_by == SERVED_EXECUTE:
+                # Idempotent for thread workers; in process mode this is
+                # where the parent's result cache learns the outcome.
+                self.results.put(raw.result_key, raw)
+            with self._lock:
+                try:
+                    self._spec_to_rkey[ticket.query.spec_key()] = raw.result_key
+                except QueryError:  # pragma: no cover - unresolvable spec
+                    pass
+        out = replace(
+            raw, id=ticket.query.id, served_by=served, latency_s=latency
+        )
+        self.registry.histogram("service.latency").observe(latency)
+        if out.status == "timeout":
+            self.registry.counter("service.timeouts").inc()
+        return out
+
+    def _timeout_outcome(
+        self, ticket: Ticket, timeout: float | None, why: str
+    ) -> QueryOutcome:
+        self.registry.counter("service.timeouts").inc()
+        latency = time.perf_counter() - ticket.submitted_at
+        self.registry.histogram("service.latency").observe(latency)
+        return QueryOutcome.failure(
+            ticket.query,
+            TimeoutError(f"{why} (timeout {timeout}s)"),
+            status="timeout",
+            latency_s=latency,
+        )
+
+    def _on_timeout(self, ticket: Ticket, timeout: float | None) -> QueryOutcome:
+        if ticket.future.cancel():
+            # Still queued: cancelled cleanly, never executed.
+            return self._timeout_outcome(
+                ticket, timeout, "cancelled while queued"
+            )
+        # Already running: the computation finishes in the background
+        # (and may still warm the cache); this waiter stops waiting.
+        return self._timeout_outcome(
+            ticket, timeout, "timed out while executing"
+        )
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def run_batch(self, items) -> list[QueryOutcome]:
+        """Serve a mixed list of :class:`Query` and pre-failed
+        :class:`QueryOutcome` entries (malformed lines), preserving
+        order.  Never raises for per-query failures."""
+        tickets: list[Ticket | QueryOutcome] = []
+        for item in items:
+            if isinstance(item, QueryOutcome):
+                self.registry.counter("service.queries").inc()
+                self.registry.counter("service.errors").inc()
+                tickets.append(item)
+            else:
+                tickets.append(self.submit(item))
+        return [
+            t if isinstance(t, QueryOutcome) else t.outcome() for t in tickets
+        ]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """One flat dict of service metrics (the ISSUE's aggregate set
+        plus the underlying counters), refreshed from current state."""
+        reg = self.registry
+        queries = reg.counter("service.queries").value
+        hits = (
+            reg.counter("service.result_cache_hits").value
+            + reg.counter("service.dedup_hits").value
+        )
+        reg.gauge("service.cache_hit_ratio").set(
+            hits / queries if queries else 0.0
+        )
+        lat = reg.histogram("service.latency")
+        reg.gauge("service.p50_latency").set(lat.quantile(0.5))
+        reg.gauge("service.p95_latency").set(lat.quantile(0.95))
+        if self._first_submit is not None and self._last_done is not None:
+            elapsed = self._last_done - self._first_submit
+            completed = len(lat.samples)
+            reg.gauge("service.qps").set(
+                completed / elapsed if elapsed > 0 else 0.0
+            )
+        out = {
+            k: v
+            for k, v in reg.as_dict().items()
+            if not k.startswith("service.latency.")
+        }
+        out["service.graph_cache_size"] = float(len(self.graphs))
+        out["service.result_cache_size"] = float(len(self.results))
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "MSTService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,199 @@
+"""Serializable result of one service query, plus the error taxonomy map.
+
+A :class:`QueryOutcome` is what the service returns and what ``serve``
+emits as one NDJSON line: either a success (MST weight / edge-set
+digest / counters-derived metrics — enough to prove bit-identity
+between cold and warm runs) or a typed failure that maps onto the
+CLI's uniform exit codes (3 input / 4 verify / 5 unrecovered fault /
+1 generic).  A failure never carries a partial result and never
+escapes as an exception: one bad query must not poison its batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..baselines.errors import NotConnectedError
+from ..errors import (
+    EXIT_INPUT_ERROR,
+    EXIT_UNRECOVERED_FAULT,
+    EXIT_VERIFY_FAILED,
+    DeviceFault,
+    GraphFormatError,
+    InvariantViolation,
+    ReproError,
+    UnrecoveredFaultError,
+    VerificationError,
+)
+
+__all__ = [
+    "QueryOutcome",
+    "batch_exit_code",
+    "classify_error",
+    "edges_digest",
+]
+
+SCHEMA = "repro.service.outcome/v1"
+
+# How an outcome was served: a real execution, the result cache, or by
+# attaching to an identical in-flight execution.
+SERVED_EXECUTE = "execute"
+SERVED_CACHE = "result-cache"
+SERVED_COALESCED = "coalesced"
+
+
+def classify_error(exc: BaseException) -> tuple[str, int]:
+    """Map an exception onto ``(error_kind, exit_code)``.
+
+    The same families → codes mapping as ``repro.cli.main`` so batch
+    results and single-shot commands report failures identically.
+    """
+    if isinstance(exc, GraphFormatError):
+        return "input", EXIT_INPUT_ERROR
+    if isinstance(exc, VerificationError):
+        return "verify", EXIT_VERIFY_FAILED
+    if isinstance(exc, (DeviceFault, InvariantViolation, UnrecoveredFaultError)):
+        return "fault", EXIT_UNRECOVERED_FAULT
+    if isinstance(exc, NotConnectedError):
+        return "not-connected", 1
+    if isinstance(exc, ReproError):
+        return "error", 1
+    return "internal", 1
+
+
+def edges_digest(result) -> str:
+    """Order-independent digest of the selected MST edge set.
+
+    Hashes the ``(u, v, w)`` arrays in canonical (CSR) edge order —
+    two results with equal digests selected the same weighted edges.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for arr in result.edges():
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class QueryOutcome:
+    """One query's result summary (see module docstring)."""
+
+    id: str
+    input: str = ""
+    code: str = "ECL-MST"
+    system: int = 2
+    scale: float = 0.0
+    status: str = "ok"  # "ok" | "error" | "timeout"
+    served_by: str = SERVED_EXECUTE
+    error_kind: str = ""
+    error: str = ""
+    exit_code: int = 0
+    # Success payload — everything needed to check bit-identity.
+    algorithm: str = ""
+    graph: dict = field(default_factory=dict)  # fingerprint
+    total_weight: int = 0
+    num_mst_edges: int = 0
+    rounds: int = 0
+    modeled_seconds: float = 0.0
+    mst_digest: str = ""
+    metrics: dict = field(default_factory=dict)
+    resilience: dict = field(default_factory=dict)
+    # Service accounting (never part of identity comparisons).
+    result_key: str = ""
+    load_seconds: float = 0.0
+    run_seconds: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def cache_hit(self) -> bool:
+        """Served without executing (result cache or coalesced)."""
+        return self.ok and self.served_by != SERVED_EXECUTE
+
+    def identity(self) -> dict:
+        """The fields that must be bit-identical between a cold run and
+        any cached/coalesced serving of the same query."""
+        return {
+            "algorithm": self.algorithm,
+            "graph_digest": self.graph.get("digest"),
+            "total_weight": self.total_weight,
+            "num_mst_edges": self.num_mst_edges,
+            "rounds": self.rounds,
+            "modeled_seconds": self.modeled_seconds,
+            "mst_digest": self.mst_digest,
+            "metrics": self.metrics,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def failure(
+        cls,
+        query,
+        exc: BaseException,
+        *,
+        status: str = "error",
+        latency_s: float = 0.0,
+    ) -> "QueryOutcome":
+        kind, code = classify_error(exc)
+        if status == "timeout":
+            kind, code = "timeout", 1
+        return cls(
+            id=getattr(query, "id", "?") or "?",
+            input=getattr(query, "input", ""),
+            code=getattr(query, "code", ""),
+            system=getattr(query, "system", 0),
+            scale=getattr(query, "scale", 0.0),
+            status=status,
+            error_kind=kind,
+            error=str(exc),
+            exit_code=code,
+            latency_s=latency_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (NDJSON lines)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["schema"] = SCHEMA
+        d["cache_hit"] = self.cache_hit
+        if self.ok:
+            d.pop("error_kind"), d.pop("error")
+        else:
+            for k in (
+                "algorithm",
+                "graph",
+                "total_weight",
+                "num_mst_edges",
+                "rounds",
+                "modeled_seconds",
+                "mst_digest",
+                "metrics",
+                "resilience",
+            ):
+                d.pop(k)
+        if not self.resilience:
+            d.pop("resilience", None)
+        return d
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueryOutcome":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+def batch_exit_code(outcomes) -> int:
+    """The uniform batch exit code: 0 when every query succeeded, else
+    the *highest* per-query code so the most severe failure family wins
+    (5 unrecovered > 4 verify > 3 input > 1 generic/timeout)."""
+    return max((o.exit_code for o in outcomes), default=0)

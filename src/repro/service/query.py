@@ -1,0 +1,232 @@
+"""Query model for the batched MST service.
+
+A :class:`Query` names one MST computation — an input source (suite
+input name or graph file path), the code/system to run it on, optional
+ECL-MST configuration overrides, and service-level knobs (timeout,
+resilience cadence, fault injection for chaos queries).  Queries parse
+from plain NDJSON dicts (:meth:`Query.from_dict`) and normalize to two
+keys:
+
+* :meth:`Query.spec_key` — a digest of the full query *specification*
+  (input source + semantics).  Concurrent queries with the same spec
+  key coalesce into one execution (in-flight deduplication).
+* :meth:`Query.config_hash` — a digest of the semantic knobs only
+  (code, system, resolved config, verify, resilience, faults).
+  Combined with the graph fingerprint digest it forms the result-cache
+  key (:func:`result_key`), so two specs that resolve to the same
+  weighted graph share cached results.
+
+Labels (``id``) and scheduling knobs (``timeout_s``) are deliberately
+excluded from both keys — they change how a query is served, never
+what it computes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.config import DEOPT_STAGE_NAMES, EclMstConfig, deopt_stages
+from ..errors import GraphFormatError
+
+__all__ = ["Query", "QueryError", "result_key"]
+
+DEFAULT_SCALE = 0.06
+
+
+class QueryError(GraphFormatError):
+    """A malformed service query (bad JSON, unknown field, bad value).
+
+    Subclasses :class:`~repro.errors.GraphFormatError` so the CLI's
+    input-error exit code (3) covers malformed queries uniformly.
+    """
+
+
+_FIELDS = {
+    "id",
+    "input",
+    "code",
+    "system",
+    "scale",
+    "stage",
+    "config",
+    "timeout_s",
+    "verify",
+    "check_cadence",
+    "fault_seed",
+    "n_faults",
+    "fault_kinds",
+}
+_ALIASES = {"timeout": "timeout_s"}
+
+
+@dataclass
+class Query:
+    """One MST computation request (see module docstring)."""
+
+    input: str
+    id: str = ""
+    code: str = "ECL-MST"
+    system: int = 2
+    scale: float = DEFAULT_SCALE
+    stage: str | None = None  # Table-5 de-optimization stage name
+    config: dict = field(default_factory=dict)  # EclMstConfig overrides
+    timeout_s: float | None = None
+    verify: bool = False
+    check_cadence: int = 0  # resilience sweeps; 0 = unguarded
+    fault_seed: int | None = None  # seeded fault injection (chaos query)
+    n_faults: int = 0
+    fault_kinds: tuple = ()  # fault models to inject; () = all
+
+    def __post_init__(self) -> None:
+        if not self.input or not isinstance(self.input, str):
+            raise QueryError(f"query {self.id or '?'}: missing 'input'")
+        if not self.id:
+            self.id = self.input
+        if self.system not in (1, 2):
+            raise QueryError(
+                f"query {self.id}: system must be 1 or 2, got {self.system!r}"
+            )
+        if not isinstance(self.scale, (int, float)) or self.scale <= 0:
+            raise QueryError(
+                f"query {self.id}: scale must be positive, got {self.scale!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise QueryError(
+                f"query {self.id}: timeout_s must be positive, "
+                f"got {self.timeout_s!r}"
+            )
+        if self.n_faults < 0:
+            raise QueryError(
+                f"query {self.id}: n_faults must be >= 0, got {self.n_faults}"
+            )
+        if self.stage is not None and self.stage not in DEOPT_STAGE_NAMES:
+            raise QueryError(
+                f"query {self.id}: unknown de-opt stage {self.stage!r}; "
+                f"choose from {', '.join(DEOPT_STAGE_NAMES)}"
+            )
+        if (self.stage or self.config) and self.code != "ECL-MST":
+            raise QueryError(
+                f"query {self.id}: 'stage'/'config' apply only to ECL-MST, "
+                f"not {self.code!r}"
+            )
+        self.fault_kinds = tuple(self.fault_kinds or ())
+        if self.fault_kinds:
+            from ..resilience.faults import FAULT_KINDS
+
+            unknown = set(self.fault_kinds) - set(FAULT_KINDS)
+            if unknown:
+                raise QueryError(
+                    f"query {self.id}: unknown fault kind(s) "
+                    f"{', '.join(sorted(unknown))}; choose from "
+                    f"{', '.join(FAULT_KINDS)}"
+                )
+        if (self.check_cadence or self.n_faults) and self.code != "ECL-MST":
+            raise QueryError(
+                f"query {self.id}: resilience/fault injection applies only "
+                f"to ECL-MST, not {self.code!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Query":
+        if not isinstance(d, Mapping):
+            raise QueryError(f"query must be a JSON object, got {type(d).__name__}")
+        kw: dict[str, Any] = {}
+        for key, value in d.items():
+            key = _ALIASES.get(key, key)
+            if key not in _FIELDS:
+                raise QueryError(
+                    f"query {d.get('id', '?')}: unknown field {key!r} "
+                    f"(known: {', '.join(sorted(_FIELDS))})"
+                )
+            kw[key] = value
+        if "config" in kw and not isinstance(kw["config"], Mapping):
+            raise QueryError(
+                f"query {d.get('id', '?')}: 'config' must be an object"
+            )
+        try:
+            return cls(**kw)
+        except TypeError as exc:
+            raise QueryError(f"query {d.get('id', '?')}: {exc}") from None
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "Query":
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"malformed query JSON: {exc}") from None
+        return cls.from_dict(d)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["fault_kinds"] = list(self.fault_kinds)
+        return {k: v for k, v in d.items() if v not in (None, {}, "", [])}
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def resolved_config(self) -> EclMstConfig | None:
+        """The full :class:`EclMstConfig` this query runs under
+        (stage base + overrides), or ``None`` for baseline codes."""
+        if self.code != "ECL-MST":
+            return None
+        base = EclMstConfig()
+        if self.stage is not None:
+            base = dict(deopt_stages())[self.stage]
+        if not self.config:
+            return base
+        known = {f.name for f in dataclasses.fields(EclMstConfig)}
+        unknown = set(self.config) - known
+        if unknown:
+            raise QueryError(
+                f"query {self.id}: unknown config field(s) "
+                f"{', '.join(sorted(unknown))} (known: {', '.join(sorted(known))})"
+            )
+        try:
+            return base.with_(**self.config)
+        except TypeError as exc:
+            raise QueryError(f"query {self.id}: bad config: {exc}") from None
+
+    def _semantics(self) -> dict:
+        cfg = self.resolved_config()
+        return {
+            "code": self.code,
+            "system": self.system,
+            "config": dataclasses.asdict(cfg) if cfg is not None else {},
+            "verify": bool(self.verify),
+            "check_cadence": int(self.check_cadence),
+            "fault_seed": self.fault_seed,
+            "n_faults": int(self.n_faults),
+            "fault_kinds": list(self.fault_kinds),
+        }
+
+    @staticmethod
+    def _digest(payload: dict) -> str:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(blob.encode(), digest_size=8).hexdigest()
+
+    def config_hash(self) -> str:
+        """Canonical digest of every semantic knob (not the input)."""
+        return self._digest(self._semantics())
+
+    def spec_key(self) -> str:
+        """Digest of the full specification: semantics + input source.
+
+        Two queries with equal spec keys compute the same thing from
+        the same source and may coalesce while in flight.
+        """
+        payload = self._semantics()
+        payload["input"] = self.input
+        payload["scale"] = repr(float(self.scale))
+        return self._digest(payload)
+
+
+def result_key(graph_digest: str, query: Query) -> str:
+    """Result-cache key: graph fingerprint × canonical config hash."""
+    return f"{graph_digest}:{query.config_hash()}"

@@ -68,6 +68,7 @@ class TestClassifier:
         assert unguarded >= guarded
 
 
+@pytest.mark.slow
 class TestReport:
     def test_generate_report_structure(self, tmp_path):
         from repro.bench.report import generate_report

@@ -1,0 +1,163 @@
+"""CLI tests for ``serve`` and ``sweep`` (NDJSON batch interface)."""
+
+import json
+
+from repro.cli import main
+
+SCALE = 0.06
+
+
+def read_ndjson(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+class TestServe:
+    def test_good_batch(self, tmp_path, capsys):
+        batch = tmp_path / "batch.ndjson"
+        batch.write_text(
+            "\n".join(
+                [
+                    json.dumps({"id": "a", "input": "internet", "scale": SCALE}),
+                    json.dumps({"id": "b", "input": "internet", "scale": SCALE}),
+                    "# a comment line",
+                    json.dumps({"id": "c", "input": "2d-2e20.sym", "scale": SCALE}),
+                ]
+            )
+        )
+        out = tmp_path / "out.ndjson"
+        rc = main(["serve", "--batch", str(batch), "--out", str(out)])
+        assert rc == 0
+        rows = read_ndjson(out)
+        assert [r["id"] for r in rows] == ["a", "b", "c"]
+        assert all(r["status"] == "ok" for r in rows)
+        # Identical a/b queries: one executes, the other is served from
+        # cache (or coalesced), bit-identical.
+        assert rows[0]["mst_digest"] == rows[1]["mst_digest"]
+        assert rows[0]["total_weight"] == rows[1]["total_weight"]
+        assert any(r["cache_hit"] for r in rows[:2])
+        err = capsys.readouterr().err
+        assert "served 3 queries" in err and "ok 3" in err
+
+    def test_malformed_line_fails_line_not_batch(self, tmp_path, capsys):
+        batch = tmp_path / "batch.ndjson"
+        batch.write_text(
+            "\n".join(
+                [
+                    json.dumps({"id": "good", "input": "internet", "scale": SCALE}),
+                    "this is not json",
+                    json.dumps({"id": "bad-field", "input": "internet", "nope": 1}),
+                ]
+            )
+        )
+        out = tmp_path / "out.ndjson"
+        rc = main(["serve", "--batch", str(batch), "--out", str(out)])
+        assert rc == 3  # input error, the most severe in this batch
+        rows = read_ndjson(out)
+        assert len(rows) == 3  # one output line per input line
+        assert rows[0]["status"] == "ok"
+        assert rows[1]["status"] == "error"
+        assert rows[1]["error_kind"] == "input"
+        assert "line 2" in rows[1]["error"]
+        assert rows[2]["status"] == "error"
+        assert "unknown field" in rows[2]["error"]
+
+    def test_fault_exit_code_wins(self, tmp_path):
+        batch = tmp_path / "batch.ndjson"
+        batch.write_text(
+            "\n".join(
+                [
+                    "not json either",
+                    json.dumps(
+                        {
+                            "id": "chaos",
+                            "input": "internet",
+                            "scale": SCALE,
+                            "n_faults": 2,
+                            "fault_seed": 3,
+                            "fault_kinds": ["kernel-fail"],
+                        }
+                    ),
+                ]
+            )
+        )
+        out = tmp_path / "out.ndjson"
+        rc = main(["serve", "--batch", str(batch), "--out", str(out)])
+        assert rc == 5  # unrecovered fault outranks input error
+        rows = read_ndjson(out)
+        assert {r["exit_code"] for r in rows} == {3, 5}
+
+    def test_missing_batch_file(self, tmp_path, capsys):
+        rc = main(["serve", "--batch", str(tmp_path / "nope.ndjson")])
+        assert rc == 3
+        assert "cannot read batch" in capsys.readouterr().err
+
+    def test_stdin_batch(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        line = json.dumps({"id": "s", "input": "internet", "scale": SCALE})
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n"))
+        rc = main(["serve", "--batch", "-", "--out", str(tmp_path / "o.ndjson")])
+        assert rc == 0
+
+    def test_stdout_ndjson(self, capsys, tmp_path):
+        batch = tmp_path / "b.ndjson"
+        batch.write_text(json.dumps({"id": "x", "input": "internet", "scale": SCALE}))
+        assert main(["serve", "--batch", str(batch)]) == 0
+        out = capsys.readouterr().out
+        row = json.loads(out.splitlines()[0])
+        assert row["id"] == "x" and row["status"] == "ok"
+
+
+class TestSweep:
+    def test_sweep_two_inputs_warm_hits(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "internet,2d-2e20.sym",
+                "--scale",
+                str(SCALE),
+                "--repeat",
+                "2",
+                "--out",
+                str(tmp_path / "sweep.ndjson"),
+            ]
+        )
+        assert rc == 0
+        rows = read_ndjson(tmp_path / "sweep.ndjson")
+        # --repeat 2 = one cold pass + one warm pass over both inputs
+        assert len(rows) == 4
+        assert all(r["status"] == "ok" for r in rows)
+        warm = rows[2:]
+        assert all(r["cache_hit"] for r in warm)
+        out = capsys.readouterr().out
+        assert "== cold pass ==" in out
+        assert "warm passes" in out
+        assert "warm/cold throughput" in out
+
+    def test_sweep_records_trajectory(self, tmp_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "internet",
+                "--scale",
+                str(SCALE),
+                "--repeat",
+                "2",
+                "--record",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        files = list(tmp_path.glob("BENCH_SERVICE_*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["schema"] == "repro.bench.service-trajectory/v1"
+        assert doc["cold"]["queries_per_second"] > 0
+        assert doc["warm"]["queries_per_second"] > 0
+        assert doc["warm"]["cache_hit_ratio"] == 1.0
+        assert doc["speedup_warm_over_cold"] > 0
+
+    def test_sweep_unknown_input(self, capsys):
+        rc = main(["sweep", "atlantis", "--scale", str(SCALE)])
+        assert rc == 3
+        assert "unknown suite input" in capsys.readouterr().err

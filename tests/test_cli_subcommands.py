@@ -85,6 +85,7 @@ class TestBackCompat:
         assert main([]) == 2
 
 
+@pytest.mark.slow
 class TestArtifactCommand:
     def test_full_workflow(self, tmp_path, capsys):
         assert main(["artifact", str(tmp_path / "af"), "--scale", SCALE]) == 0

@@ -11,6 +11,10 @@ from pathlib import Path
 
 import pytest
 
+# Full example scripts are end-to-end runs — the heaviest tests in the
+# suite, split out of the fast CI matrix.
+pytestmark = pytest.mark.slow
+
 EXAMPLES = sorted(
     p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
 )

@@ -79,6 +79,7 @@ class TestExperiments:
         assert int(cols[5]) >= 1  # at least one k1 launch
         assert int(cols[6]) >= 1  # at least one round
 
+    @pytest.mark.slow
     def test_kernel_profile_shape_at_scale(self):
         """Section 5.1: at realistic sizes the init kernel dominates
         (~40%) and kernel 1 is next (~35%)."""
