@@ -407,6 +407,8 @@ def _service_from_args(args):
             graph_cache_size=args.graph_cache_size,
             max_queue_depth=args.queue_depth,
             default_timeout_s=args.timeout,
+            # Admin endpoints imply profile retention (/profilez).
+            keep_profile=getattr(args, "admin_port", None) is not None,
         )
     )
 
@@ -426,14 +428,29 @@ def _cmd_serve(args) -> int:
 
             print(f"input error: cannot read batch file: {exc}", file=sys.stderr)
             return EXIT_INPUT_ERROR
+    admin = None
     t0 = time.perf_counter()
     with _service_from_args(args) as service:
-        outcomes = run_batch_lines(lines, service)
-        summary = summarize(
-            outcomes, service, wall_seconds=time.perf_counter() - t0
-        )
-    _emit("\n".join(o.to_json_line() for o in outcomes), args.out)
-    print(summary.render(), file=sys.stderr)
+        if args.admin_port is not None:
+            from .service.admin import AdminServer
+
+            admin = AdminServer(service, port=args.admin_port).start()
+            print(f"admin endpoints at {admin.url}", file=sys.stderr)
+        try:
+            outcomes = run_batch_lines(lines, service)
+            summary = summarize(
+                outcomes, service, wall_seconds=time.perf_counter() - t0
+            )
+            _emit("\n".join(o.to_json_line() for o in outcomes), args.out)
+            print(summary.render(), file=sys.stderr)
+            if args.linger > 0:
+                # Keep the admin endpoints scrapeable after the batch
+                # (CI smoke tests, manual inspection).
+                print(f"lingering {args.linger:g}s ...", file=sys.stderr)
+                time.sleep(args.linger)
+        finally:
+            if admin is not None:
+                admin.stop()
     return summary.exit_code
 
 
@@ -521,12 +538,73 @@ def _cmd_mst(args) -> int:
     return 0
 
 
+def _cmd_dashboard(args) -> int:
+    import json as _json
+
+    from .obs.dashboard import render_dashboard
+
+    if args.profile:
+        try:
+            profile = _json.loads(Path(args.profile).read_text())
+        except (OSError, _json.JSONDecodeError) as exc:
+            from .errors import EXIT_INPUT_ERROR
+
+            print(f"input error: cannot read profile: {exc}", file=sys.stderr)
+            return EXIT_INPUT_ERROR
+    else:
+        if not args.input:
+            from .errors import EXIT_INPUT_ERROR
+
+            print(
+                "input error: give an input to run, or --profile FILE",
+                file=sys.stderr,
+            )
+            return EXIT_INPUT_ERROR
+        # No saved profile: run the input fresh and profile it.
+        from .obs import RunProfile
+
+        result, tracer = _traced_run(args)
+        profile = RunProfile.from_result(result, tracer=tracer).to_dict()
+    html = render_dashboard(
+        profile, trajectory=args.trajectory, title=args.title
+    )
+    out = Path(args.out or "dashboard.html")
+    out.write_text(html)
+    print(f"dashboard written to {out}")
+    return 0
+
+
+def _add_log_flags(parser: argparse.ArgumentParser, *, trailing: bool = False) -> None:
+    """Register the global event-log flags.
+
+    ``trailing=True`` is the subcommand variant: SUPPRESS defaults keep
+    a value given *before* the command name from being clobbered by the
+    subparser's pass, so both positions work.
+    """
+    parser.add_argument(
+        "--log-level",
+        choices=("off", "debug", "info", "warning", "error"),
+        dest="log_level",
+        default=argparse.SUPPRESS if trailing else "off",
+        help="structured event-log level (off = zero-overhead null log)",
+    )
+    parser.add_argument(
+        "--log-json",
+        dest="log_json",
+        metavar="FILE",
+        default=argparse.SUPPRESS if trailing else None,
+        help="write events as NDJSON to FILE ('-' = stdout); implies "
+        "--log-level info unless set explicitly",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mst",
         description="ECL-MST reproduction: regenerate paper artifacts, run "
         "MST codes, convert graphs.",
     )
+    _add_log_flags(parser)
     sub = parser.add_subparsers(dest="command")
 
     p_exp = sub.add_parser("exp", help="regenerate a paper table/figure")
@@ -645,6 +723,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_prof.set_defaults(fn=_cmd_profile)
 
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render a self-contained static HTML run dashboard",
+    )
+    p_dash.add_argument(
+        "input",
+        nargs="?",
+        help="suite input name or graph file to run fresh "
+        "(omit when using --profile)",
+    )
+    p_dash.add_argument(
+        "--profile",
+        help="render this saved run-profile JSON instead of running",
+    )
+    p_dash.add_argument("--code", default="ECL-MST", help="MST code to run")
+    p_dash.add_argument("--system", type=int, choices=(1, 2), default=2)
+    p_dash.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p_dash.add_argument(
+        "--trajectory",
+        default="benchmarks/trajectory",
+        help="benchmark trajectory directory for the sparkline section",
+    )
+    p_dash.add_argument("--title", help="page title override")
+    p_dash.add_argument(
+        "--out", "-o", help="output HTML path (default dashboard.html)"
+    )
+    p_dash.set_defaults(fn=_cmd_dashboard)
+
     def _service_common(p) -> None:
         p.add_argument("--workers", type=int, default=4)
         p.add_argument(
@@ -687,6 +793,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch",
         required=True,
         help="NDJSON query file ('-' reads stdin)",
+    )
+    p_serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        dest="admin_port",
+        metavar="PORT",
+        help="expose /healthz /statusz /metrics /profilez on this "
+        "port (0 = OS-assigned)",
+    )
+    p_serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the process (and admin endpoints) alive this long "
+        "after the batch completes",
     )
     _service_common(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
@@ -794,6 +917,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bad-direction ratio tolerated (1.0 = exact compare)",
     )
 
+    # The event-log flags also parse *after* the subcommand name
+    # (`repro-mst serve ... --log-json events.ndjson`), not just before.
+    for sp in sub.choices.values():
+        _add_log_flags(sp, trailing=True)
+
     return parser
 
 
@@ -819,6 +947,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf",
         "serve",
         "sweep",
+        "dashboard",
     }
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["exp", *argv]
@@ -827,6 +956,14 @@ def main(argv: list[str] | None = None) -> int:
     if not getattr(args, "fn", None):
         parser.print_help()
         return 2
+    level = getattr(args, "log_level", "off")
+    json_path = getattr(args, "log_json", None)
+    if json_path and level == "off":
+        level = "info"  # asking for a log file means asking for events
+    if level != "off":
+        from .obs.events import configure_events
+
+        configure_events(level=level, json_path=json_path)
     from .errors import (
         EXIT_INPUT_ERROR,
         EXIT_UNRECOVERED_FAULT,

@@ -21,6 +21,7 @@ from ..graph.csr import CSRGraph
 from ..gpusim.atomics import KEY_INFINITY, atomic_min_u64, pack_keys
 from ..gpusim.costmodel import Device
 from ..gpusim.spec import GPUSpec, RTX_3080_TI
+from ..obs.events import NULL_EVENTS, get_event_log, new_run_id
 from ..obs.trace import NULL_TRACER
 from . import costs
 from .config import EclMstConfig
@@ -49,6 +50,7 @@ def _run_data_driven_loop(
     weight_of_edge: np.ndarray,
     round_log: list[RoundStats] | None = None,
     guard=None,
+    events=NULL_EVENTS,
 ) -> int:
     """The Alg.-2 while loop; returns the number of rounds executed."""
     tracer = state.device.tracer
@@ -58,7 +60,7 @@ def _run_data_driven_loop(
         entries = len(state.wl.front)
 
         def body(rounds=rounds, entries=entries):
-            with tracer.span(f"round {rounds}", kind="round", entries=entries):
+            with tracer.span(f"round {rounds}", kind="round", entries=entries) as sp:
                 survivors = kernel1_reserve(state)
                 state.wl.swap()
                 # The while condition is a worklist-size flag copied back
@@ -70,6 +72,16 @@ def _run_data_driven_loop(
                     added = kernel2_union(state)
                     kernel3_reset(state)
                 tracer.annotate(survivors=survivors, added=added)
+            if events.enabled:
+                events.emit(
+                    "solver.round",
+                    level="debug",
+                    round=rounds,
+                    entries=entries,
+                    survivors=survivors,
+                    added=added,
+                    span=getattr(sp, "id", 0),
+                )
             return RoundStats(entries=entries, survivors=survivors, added=added)
 
         stats = body() if guard is None else guard.run_round(state, body, rounds)
@@ -84,6 +96,7 @@ def _run_topology_driven_loop(
     phase: int,
     weight_of_edge: np.ndarray,
     guard=None,
+    events=NULL_EVENTS,
 ) -> int:
     """De-optimized loop: every round rescans all candidate edges.
 
@@ -111,7 +124,7 @@ def _run_topology_driven_loop(
         def body(rounds=rounds):
             with tracer.span(
                 f"round {rounds}", kind="round", entries=len(all_entries)
-            ):
+            ) as sp:
                 state.wl.fill_front(all_entries)
                 survivors = kernel1_reserve(state)
                 # Topology-driven k1 does not build a worklist; the swap
@@ -124,6 +137,15 @@ def _run_topology_driven_loop(
                 if survivors:
                     kernel2_union(state)
                     kernel3_reset(state)
+            if events.enabled:
+                events.emit(
+                    "solver.round",
+                    level="debug",
+                    round=rounds,
+                    entries=len(all_entries),
+                    survivors=survivors,
+                    span=getattr(sp, "id", 0),
+                )
             return survivors
 
         survivors = (
@@ -146,6 +168,7 @@ def ecl_mst(
     tracer=None,
     resilience=None,
     fault_plan=None,
+    events=None,
 ) -> MstResult:
     """Compute the MSF of ``graph`` with ECL-MST on the simulated GPU.
 
@@ -178,6 +201,15 @@ def ecl_mst(
         Optional :class:`~repro.resilience.faults.FaultPlan` of seeded
         deterministic transient faults for the device to inject
         (chaos/robustness testing).
+    events:
+        Optional :class:`~repro.obs.events.EventLog` receiving
+        phase/round transition events (and resilience events when the
+        run is guarded), all bound to a fresh run correlation ID.
+        ``None`` (the default) falls back to the process-global log
+        configured by the ``--log-level/--log-json`` CLI flags, which
+        is the zero-overhead :data:`~repro.obs.events.NULL_EVENTS`
+        unless telemetry was turned on.  Emitting events never changes
+        the computed MSF or the modeled counters.
 
     Returns
     -------
@@ -189,11 +221,16 @@ def ecl_mst(
     """
     config = config or EclMstConfig()
     tracer = tracer if tracer is not None else NULL_TRACER
+    events = events if events is not None else get_event_log()
+    if events.enabled:
+        events = events.bind(run=new_run_id())
     injector = None
     if fault_plan is not None:
         from ..resilience.faults import FaultInjector
 
         injector = FaultInjector(fault_plan)
+        injector.events = events
+        injector.tracer = tracer
     device = Device(gpu, tracer=tracer, fault_injector=injector)
     plan = plan_filtering(graph, config)
     round_log: list[RoundStats] = []
@@ -203,10 +240,11 @@ def ecl_mst(
         kernel_init_populate(state, threshold, phase=phase_no)
         if config.data_driven:
             return _run_data_driven_loop(
-                state, weight_of_edge, round_log, guard=guard
+                state, weight_of_edge, round_log, guard=guard, events=events
             )
         return _run_topology_driven_loop(
-            state, threshold, phase_no, weight_of_edge, guard=guard
+            state, threshold, phase_no, weight_of_edge, guard=guard,
+            events=events,
         )
 
     def _guarded_phase(label: str, threshold: int | None, phase_no: int) -> int:
@@ -248,7 +286,24 @@ def ecl_mst(
                     raise
                 raise SerialFallbackRequired from exc2
 
+    def _phase_events(label: str, span, threshold) -> None:
+        if events.enabled:
+            events.emit(
+                "solver.phase",
+                phase=label,
+                threshold=threshold,
+                span=getattr(span, "id", 0),
+            )
+
     fell_through = False
+    if events.enabled:
+        events.emit(
+            "solver.run.start",
+            graph=graph.name,
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+            filtering=plan.active,
+        )
     with tracer.span(
         f"ecl-mst on {graph.name}",
         kind="run",
@@ -274,6 +329,7 @@ def ecl_mst(
             guard = RoundGuard(
                 resilience,
                 tracer=tracer,
+                events=events,
                 reference_mask=getattr(resilience, "_reference_mask", None),
             )
             guard.bind(state, weight_of_edge)
@@ -283,18 +339,21 @@ def ecl_mst(
             if plan.active:
                 with tracer.span(
                     "phase 1", kind="phase", threshold=plan.threshold
-                ):
+                ) as sp1:
+                    _phase_events("phase 1", sp1, plan.threshold)
                     rounds_total += _guarded_phase(
                         "phase 1", plan.threshold, 1
                     )
                 with tracer.span(
                     "phase 2", kind="phase", threshold=plan.threshold
-                ):
+                ) as sp2:
+                    _phase_events("phase 2", sp2, plan.threshold)
                     rounds_total += _guarded_phase(
                         "phase 2", plan.threshold, 2
                     )
             else:
-                with tracer.span("main phase", kind="phase"):
+                with tracer.span("main phase", kind="phase") as sp0:
+                    _phase_events("main phase", sp0, None)
                     rounds_total += _guarded_phase("main phase", None, 0)
         except Exception as exc:
             from ..resilience.recovery import SerialFallbackRequired
@@ -354,6 +413,16 @@ def ecl_mst(
         extra=extra,
         round_stats=round_log,
     )
+    if events.enabled:
+        events.emit(
+            "solver.run.done",
+            graph=graph.name,
+            rounds=rounds_total,
+            mst_edges=result.num_mst_edges,
+            total_weight=result.total_weight,
+            modeled_seconds=result.modeled_seconds,
+            degraded=degraded,
+        )
     if verify:
         from .verify import verify_mst
 

@@ -18,9 +18,31 @@ and modeled time go":
   cost model's own time decomposition;
 * :mod:`~repro.obs.regress` — benchmark baselines (deterministic
   modeled metrics compared exactly, wall-clock via median+MAD bands)
-  backing the ``repro-mst perf`` gate.
+  backing the ``repro-mst perf`` gate;
+* :mod:`~repro.obs.events` — leveled structured events with
+  correlation IDs (run → query → span), NDJSON/console sinks, and a
+  zero-overhead null log;
+* :mod:`~repro.obs.window` — sliding-window counters and histograms
+  so live service metrics reflect recent traffic;
+* :mod:`~repro.obs.slo` — declarative SLOs evaluated into windowed
+  burn rates and alert transitions;
+* :mod:`~repro.obs.dashboard` — the self-contained static HTML run
+  dashboard behind ``repro-mst dashboard``.
 """
 
+from .events import (
+    NULL_EVENTS,
+    ConsoleSink,
+    Event,
+    EventLog,
+    ListSink,
+    NDJSONSink,
+    NullEventLog,
+    configure_events,
+    get_event_log,
+    new_run_id,
+    reset_events,
+)
 from .export import (
     chrome_trace_events,
     to_chrome_trace_json,
@@ -46,13 +68,28 @@ from .regress import (
     median_mad,
 )
 from .roofline import BoundReport, KernelRoofline, launch_shares, roofline_report
+from .slo import DEFAULT_SLOS, SLOSpec, SLOStatus, SLOTracker
 from .trace import NULL_TRACER, NullTracer, Span, Tracer, host_hotspots
+from .window import SlidingCounter, SlidingHistogram
 
 __all__ = [
     "Baseline",
     "BaselineStore",
     "BoundReport",
+    "ConsoleSink",
     "Counter",
+    "DEFAULT_SLOS",
+    "Event",
+    "EventLog",
+    "ListSink",
+    "NDJSONSink",
+    "NULL_EVENTS",
+    "NullEventLog",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOTracker",
+    "SlidingCounter",
+    "SlidingHistogram",
     "Gauge",
     "Histogram",
     "KernelBreakdown",
@@ -69,9 +106,13 @@ __all__ = [
     "chrome_trace_events",
     "collect_result_metrics",
     "compare_to_baseline",
+    "configure_events",
     "diff",
+    "get_event_log",
     "graph_fingerprint",
     "host_hotspots",
+    "new_run_id",
+    "reset_events",
     "launch_shares",
     "median_mad",
     "metric_direction",

@@ -112,6 +112,11 @@ class RunProfile:
     # spots.  Deliberately kept out of ``metrics`` — wall time is noisy
     # and must never feed the deterministic regression gate.
     host: dict = field(default_factory=dict)
+    # Per-round worklist trajectory ([{entries, survivors, added}]) —
+    # the dashboard's round-timeline source.  Empty for runners that
+    # report no per-round stats (baselines); absent in pre-telemetry
+    # profiles (from_dict tolerates both).
+    round_log: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Construction
@@ -154,6 +159,9 @@ class RunProfile:
             kernels=_kernel_breakdowns(result.counters),
             roofline=roofline,
             host=host,
+            round_log=[
+                dict(s) for s in getattr(result, "round_stats", None) or []
+            ],
         )
 
     # ------------------------------------------------------------------

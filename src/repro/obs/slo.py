@@ -1,0 +1,218 @@
+"""Declarative service-level objectives with windowed burn rates.
+
+An :class:`SLOSpec` names an objective over the service's recent
+traffic; an :class:`SLOTracker` feeds one record per served query into
+sliding windows (:mod:`~repro.obs.window`) and evaluates each spec
+into an :class:`SLOStatus` carrying the measured SLI, the fraction of
+error budget consumed, and the **burn rate** — the standard ratio
+
+    burn = (1 - SLI) / (1 - objective)
+
+so ``burn == 1`` means the service is spending its error budget
+exactly as fast as the objective allows, and ``burn > alert_burn``
+raises an ``slo.burn`` event (see :mod:`~repro.obs.events`) on the
+transition into the alerting state (and an ``slo.recovered`` event on
+the way back out).
+
+Spec kinds:
+
+* ``availability`` — SLI is the fraction of queries in the window that
+  completed ``ok``.
+* ``latency`` — SLI is the fraction of queries served within
+  ``threshold_s`` seconds.
+* ``zero`` — a hard objective on a forbidden-event count (the
+  resilience guarantee *escaped faults = 0*): SLI is 1.0 while the
+  window holds zero such events and 0.0 otherwise, so a single escape
+  saturates the burn rate.
+
+The default spec set (:data:`DEFAULT_SLOS`) encodes the repo's serving
+promises: 99% availability, 95% of queries under one second, and zero
+escaped faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .events import NULL_EVENTS
+from .window import SlidingCounter
+
+__all__ = ["SLOSpec", "SLOStatus", "SLOTracker", "DEFAULT_SLOS"]
+
+_KINDS = ("availability", "latency", "zero")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective (see module docstring for kinds)."""
+
+    name: str
+    kind: str
+    objective: float = 0.99  # target fraction of good events
+    threshold_s: float | None = None  # latency kind: the "good" bound
+    alert_burn: float = 1.0  # burn rate that starts alerting
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; choose from {', '.join(_KINDS)}"
+            )
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError("objective must be in (0, 1]")
+        if self.kind == "latency" and (
+            self.threshold_s is None or self.threshold_s <= 0
+        ):
+            raise ValueError("latency SLOs need a positive threshold_s")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "threshold_s": self.threshold_s,
+            "alert_burn": self.alert_burn,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """One spec evaluated against the current window."""
+
+    spec: SLOSpec
+    sli: float
+    good: float
+    total: float
+    burn_rate: float
+    alerting: bool
+
+    @property
+    def healthy(self) -> bool:
+        return not self.alerting
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "objective": self.spec.objective,
+            "sli": self.sli,
+            "good": self.good,
+            "total": self.total,
+            "burn_rate": self.burn_rate,
+            "alerting": self.alerting,
+        }
+
+
+DEFAULT_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec(name="availability", kind="availability", objective=0.99),
+    SLOSpec(
+        name="latency-1s", kind="latency", objective=0.95, threshold_s=1.0
+    ),
+    # The resilience headline: silent corruption never ships.
+    SLOSpec(name="escaped-faults", kind="zero", objective=1.0),
+)
+
+
+class SLOTracker:
+    """Feeds served-query records into windows and evaluates the specs.
+
+    ``events`` receives ``slo.burn`` / ``slo.recovered`` transitions;
+    the default :data:`~repro.obs.events.NULL_EVENTS` keeps evaluation
+    silent.  ``clock`` must match the one used for the timestamps
+    passed to :meth:`record` (the engine uses ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        specs: tuple[SLOSpec, ...] = DEFAULT_SLOS,
+        *,
+        window_s: float = 60.0,
+        events=NULL_EVENTS,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.window_s = float(window_s)
+        self.events = events
+        self._total = SlidingCounter(window_s, clock=clock)
+        self._ok = SlidingCounter(window_s, clock=clock)
+        self._fast = SlidingCounter(window_s, clock=clock)
+        self._escaped = SlidingCounter(window_s, clock=clock)
+        self._alerting: dict[str, bool] = {s.name: False for s in self.specs}
+        # One latency bound serves every latency spec; multiple bounds
+        # would need one counter per spec — keep the common case cheap.
+        self._latency_bounds = sorted(
+            {s.threshold_s for s in self.specs if s.kind == "latency"}
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        *,
+        ok: bool,
+        latency_s: float,
+        escaped: int = 0,
+        ts: float | None = None,
+    ) -> None:
+        """One served query: success flag, latency, escaped-fault count."""
+        self._total.inc(ts=ts)
+        if ok:
+            self._ok.inc(ts=ts)
+        for bound in self._latency_bounds:
+            if latency_s <= bound:
+                self._fast.inc(ts=ts)
+                break
+        if escaped:
+            self._escaped.inc(escaped, ts=ts)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _sli(self, spec: SLOSpec, now: float | None) -> tuple[float, float, float]:
+        total = self._total.total(now=now)
+        if spec.kind == "availability":
+            good = self._ok.total(now=now)
+        elif spec.kind == "latency":
+            good = self._fast.total(now=now)
+        else:  # zero
+            bad = self._escaped.total(now=now)
+            return (1.0 if bad == 0 else 0.0), (0.0 if bad else 1.0), bad
+        if total == 0:
+            return 1.0, 0.0, 0.0  # an idle window burns no budget
+        return good / total, good, total
+
+    def evaluate(self, *, now: float | None = None) -> list[SLOStatus]:
+        """Every spec's current status; emits burn-state transitions."""
+        out = []
+        for spec in self.specs:
+            sli, good, total = self._sli(spec, now)
+            budget = 1.0 - spec.objective
+            if budget <= 0.0:  # exact objective (the "zero" kind)
+                burn = 0.0 if sli >= 1.0 else float("inf")
+            else:
+                burn = (1.0 - sli) / budget
+            alerting = burn > spec.alert_burn
+            was = self._alerting[spec.name]
+            if alerting != was:
+                self._alerting[spec.name] = alerting
+                self.events.emit(
+                    "slo.burn" if alerting else "slo.recovered",
+                    level="error" if alerting else "info",
+                    slo=spec.name,
+                    kind=spec.kind,
+                    sli=round(sli, 6),
+                    burn_rate=burn if burn != float("inf") else "inf",
+                    objective=spec.objective,
+                )
+            out.append(
+                SLOStatus(
+                    spec=spec,
+                    sli=sli,
+                    good=good,
+                    total=total,
+                    burn_rate=burn,
+                    alerting=alerting,
+                )
+            )
+        return out

@@ -55,6 +55,10 @@ class Span:
     modeled_start: float | None = None
     modeled_end: float | None = None
     children: list["Span"] = field(default_factory=list)
+    # Per-tracer correlation ID (1-based creation order; 0 = unassigned).
+    # Structured events reference this so an NDJSON event log can be
+    # joined against the exported trace.
+    id: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -85,6 +89,7 @@ class Span:
         return {
             "name": self.name,
             "kind": self.kind,
+            "id": self.id,
             "wall_start": self.wall_start,
             "wall_seconds": self.wall_seconds,
             "modeled_start": self.modeled_start,
@@ -156,6 +161,11 @@ class Tracer:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._clock = modeled_clock
+        self._next_id = 0
+
+    def _assign_id(self, sp: Span) -> None:
+        self._next_id += 1
+        sp.id = self._next_id
 
     # ------------------------------------------------------------------
     # Clock plumbing
@@ -185,6 +195,7 @@ class Tracer:
             wall_start=time.perf_counter(),
             modeled_start=self._modeled_now(),
         )
+        self._assign_id(sp)
         if self._stack:
             self._stack[-1].children.append(sp)
         else:
@@ -232,6 +243,7 @@ class Tracer:
                 "modeled_seconds": counters.modeled_seconds,
             },
         )
+        self._assign_id(sp)
         if self._stack:
             self._stack[-1].children.append(sp)
         else:
@@ -256,6 +268,7 @@ class Tracer:
     def clear(self) -> None:
         self.roots = []
         self._stack = []
+        self._next_id = 0
 
 
 def host_hotspots(tracer, top: int | None = 10) -> list[dict]:

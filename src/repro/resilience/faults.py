@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DeviceFault
+from ..obs.events import NULL_EVENTS
+from ..obs.trace import NULL_TRACER
 
 __all__ = [
     "FAULT_KINDS",
@@ -142,6 +144,11 @@ class FaultInjector:
         self.launches = 0
         self.atomic_calls = 0
         self.injected: list[InjectedFault] = []
+        # Telemetry hooks, set by the driver: fired faults emit
+        # ``fault.injected`` events carrying the driver's run
+        # correlation ID and the active trace span.
+        self.events = NULL_EVENTS
+        self.tracer = NULL_TRACER
         self._state = None
         self._by_launch: dict[int, list[FaultEvent]] = {}
         self._by_atomic: dict[int, list[FaultEvent]] = {}
@@ -167,12 +174,26 @@ class FaultInjector:
         for ev in self._by_launch.get(i, ()):
             self._fire_launch_fault(ev, kernel)
 
+    def _emit(self, kind: str, index: int, kernel: str, detail: str) -> None:
+        if self.events.enabled:
+            cur = getattr(self.tracer, "current", None)
+            self.events.emit(
+                "fault.injected",
+                level="warning",
+                kind=kind,
+                index=index,
+                kernel=kernel,
+                detail=detail,
+                span=getattr(cur, "id", 0) if cur is not None else 0,
+            )
+
     def _fire_launch_fault(self, ev: FaultEvent, kernel: str) -> None:
         state = self._state
         if ev.kind == "kernel-fail":
             self.injected.append(
                 InjectedFault(ev.kind, ev.index, kernel, "launch aborted")
             )
+            self._emit(ev.kind, ev.index, kernel, "launch aborted")
             raise DeviceFault(
                 f"simulated launch failure of kernel {kernel!r} "
                 f"(launch #{ev.index})",
@@ -199,6 +220,7 @@ class FaultInjector:
             arr[pos] = np.uint64(old ^ (1 << (ev.bit % 64)))
             detail = f"min_edge[{pos}]: {old:#x} -> {int(arr[pos]):#x}"
         self.injected.append(InjectedFault(ev.kind, ev.index, kernel, detail))
+        self._emit(ev.kind, ev.index, kernel, detail)
 
     # ------------------------------------------------------------------
     # Atomics hook
@@ -234,6 +256,7 @@ class FaultInjector:
             self.injected.append(
                 InjectedFault(ev.kind, ev.index, "k1_reserve", detail)
             )
+            self._emit(ev.kind, ev.index, "k1_reserve", detail)
         return idx, keys
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import InvariantViolation
 from ..gpusim.atomics import KEY_INFINITY, unpack_edge_id, unpack_weight
+from ..obs.events import NULL_EVENTS
 
 __all__ = ["InvariantChecker", "ROUND_INVARIANTS", "KERNEL_INVARIANTS"]
 
@@ -66,6 +67,10 @@ class InvariantChecker:
         self._weight_table: np.ndarray | None = None
         self._minedge_snapshot: np.ndarray | None = None
         self.checks_run = 0
+        # Telemetry hook (set by the RoundGuard): violations emit an
+        # ``invariant.violated`` event before the typed raise, carrying
+        # the guard's run/query correlation IDs.
+        self.events = NULL_EVENTS
 
     def bind(self, state, weight_table: np.ndarray) -> None:
         self._state = state
@@ -75,6 +80,16 @@ class InvariantChecker:
         """Forget kernel-level snapshots (after a rollback)."""
         self._minedge_snapshot = None
 
+    def _emit_violation(self, exc: InvariantViolation) -> None:
+        if self.events.enabled:
+            self.events.emit(
+                "invariant.violated",
+                level="error",
+                invariant=exc.invariant,
+                round=exc.round_index,
+                kernel=exc.kernel,
+            )
+
     # ------------------------------------------------------------------
     # Round-boundary sweep
     # ------------------------------------------------------------------
@@ -82,10 +97,14 @@ class InvariantChecker:
         """Run the full cheap sweep; raises on the first violation."""
         state = self._state
         self.checks_run += 1
-        self._check_parent(state.parent, round_index, kernel)
-        self._check_mst_count(state, round_index, kernel)
-        self._check_minedge_reset(state.min_edge, round_index, kernel)
-        self._check_worklist(state, round_index, kernel)
+        try:
+            self._check_parent(state.parent, round_index, kernel)
+            self._check_mst_count(state, round_index, kernel)
+            self._check_minedge_reset(state.min_edge, round_index, kernel)
+            self._check_worklist(state, round_index, kernel)
+        except InvariantViolation as exc:
+            self._emit_violation(exc)
+            raise
         self._minedge_snapshot = None
 
     def _check_parent(self, parent, round_index, kernel) -> None:
@@ -181,6 +200,13 @@ class InvariantChecker:
         state = self._state
         if state is None:
             return
+        try:
+            self._on_kernel_checks(kernel, round_index, state)
+        except InvariantViolation as exc:
+            self._emit_violation(exc)
+            raise
+
+    def _on_kernel_checks(self, kernel: str, round_index: int, state) -> None:
         if kernel == "k1_reserve":
             self.checks_run += 1
             self._check_minedge_keys(state, round_index, kernel)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DeviceFault, InvariantViolation, UnrecoveredFaultError
+from ..obs.events import NULL_EVENTS
 from ..obs.trace import NULL_TRACER
 from .checkpoint import Checkpoint
 from .invariants import InvariantChecker
@@ -127,12 +128,15 @@ class RoundGuard:
         cfg: ResilienceConfig,
         *,
         tracer=None,
+        events=None,
         reference_mask: np.ndarray | None = None,
     ) -> None:
         self.cfg = cfg
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.events = events if events is not None else NULL_EVENTS
         self.stats = ResilienceStats()
         self.checker = InvariantChecker()
+        self.checker.events = self.events
         self.forced = False
         self._rng = np.random.default_rng(cfg.seed)
         self._round_index = 0
@@ -204,6 +208,14 @@ class RoundGuard:
                 cp.restore(state)
                 self.checker.resync()
                 self.stats.rollbacks += 1
+                if self.events.enabled:
+                    self.events.emit(
+                        "recovery.rollback",
+                        level="warning",
+                        round=round_index,
+                        attempt=attempts,
+                        retry=attempts <= self.cfg.max_retries,
+                    )
                 if attempts > self.cfg.max_retries:
                     # Rung 2 is the phase wrapper's job.
                     raise PhaseRestartRequired from exc
@@ -234,14 +246,25 @@ class RoundGuard:
                 "message": str(exc),
             }
         )
+        span_id = 0
         if self.tracer.enabled:
             with self.tracer.span(
                 f"detected {label}:{kind}",
                 kind="recovery",
                 round=round_index,
                 kernel=kernel,
-            ):
-                pass
+            ) as sp:
+                span_id = getattr(sp, "id", 0)
+        if self.events.enabled:
+            self.events.emit(
+                "recovery.detected",
+                level="warning",
+                detector=label,
+                kind=kind,
+                round=round_index,
+                kernel=kernel,
+                span=span_id,
+            )
 
     def _backoff(self, attempt: int) -> None:
         base = self.cfg.backoff_base_s
@@ -265,13 +288,22 @@ class RoundGuard:
         self.stats.phase_restarts += 1
         self.forced = True
         self.checker.resync()
+        span_id = 0
         if self.tracer.enabled:
             with self.tracer.span(
                 f"phase restart: {label}",
                 kind="recovery",
                 forced_checks=True,
-            ):
-                pass
+            ) as sp:
+                span_id = getattr(sp, "id", 0)
+        if self.events.enabled:
+            self.events.emit(
+                "recovery.phase_restart",
+                level="warning",
+                phase=label,
+                forced_checks=True,
+                span=span_id,
+            )
 
     # ------------------------------------------------------------------
     # End-of-run: verify detector + fallback
@@ -303,12 +335,26 @@ class RoundGuard:
                     "serial fallback", kind="recovery", cause="ladder-exhausted"
                 ):
                     pass
+            if self.events.enabled:
+                self.events.emit(
+                    "recovery.fallback", level="error", cause="ladder-exhausted"
+                )
             return self._reference(graph).copy(), True
         if self.active and self.cfg.verify_result:
             self.stats.checks_run += 1
             ref = self._reference(graph)
             if not np.array_equal(in_mst, ref):
                 self.stats.verify_detections += 1
+                if self.events.enabled:
+                    self.events.emit(
+                        "recovery.detected",
+                        level="warning",
+                        detector="verify",
+                        kind="result-mismatch",
+                        round=-1,
+                        kernel="end-of-run",
+                        span=0,
+                    )
                 self.stats.detections.append(
                     {
                         "round": -1,
@@ -330,5 +376,9 @@ class RoundGuard:
                         "serial fallback", kind="recovery", cause="verify"
                     ):
                         pass
+                if self.events.enabled:
+                    self.events.emit(
+                        "recovery.fallback", level="error", cause="verify"
+                    )
                 return ref.copy(), True
         return in_mst, False

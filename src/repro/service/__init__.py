@@ -8,6 +8,7 @@ normalization, and :mod:`~repro.service.batch` for the NDJSON batch
 front end used by ``repro-mst serve`` and ``repro-mst sweep``.
 """
 
+from .admin import AdminServer, render_prometheus
 from .batch import (
     BatchSummary,
     parse_batch_lines,
@@ -22,6 +23,7 @@ from .outcome import QueryOutcome, batch_exit_code, classify_error
 from .query import Query, QueryError, result_key
 
 __all__ = [
+    "AdminServer",
     "BatchSummary",
     "LRUCache",
     "MSTService",
@@ -35,6 +37,7 @@ __all__ = [
     "execute_query",
     "parse_batch_lines",
     "record_service_trajectory",
+    "render_prometheus",
     "result_key",
     "run_batch_lines",
     "summarize",

@@ -40,8 +40,11 @@ import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from ..obs.events import get_event_log
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SLOTracker
 from ..obs.trace import Tracer
+from ..obs.window import SlidingCounter, SlidingHistogram
 from .cache import LRUCache
 from .outcome import (
     SERVED_CACHE,
@@ -65,6 +68,11 @@ class ServiceConfig:
     graph_cache_size: int = 32
     max_queue_depth: int = 64  # in-flight bound; submit blocks when full
     default_timeout_s: float | None = None
+    # Live-telemetry knobs: the sliding window backing service.qps /
+    # p50 / p95 and the SLO burn rates, and whether executed queries
+    # retain their latest run profile (the admin /profilez payload).
+    window_s: float = 60.0
+    keep_profile: bool = False
 
     def __post_init__(self) -> None:
         if self.pool not in ("thread", "process"):
@@ -128,12 +136,17 @@ def _build_fault_plan(query: Query, config, graph, gpu):
     )
 
 
-def execute_query(query: Query, graph=None, *, tracer=None) -> QueryOutcome:
+def execute_query(
+    query: Query, graph=None, *, tracer=None, profile_sink=None
+) -> QueryOutcome:
     """Run one query to completion and summarize it as an outcome.
 
     Raises nothing query-related: every typed failure becomes an error
     outcome.  ``graph`` may be pre-resolved (build cache); ``tracer``
-    defaults to a fresh per-query :class:`Tracer`.
+    defaults to a fresh per-query :class:`Tracer`.  ``profile_sink``,
+    when given, receives the finished run's
+    :class:`~repro.obs.profile.RunProfile` as a plain dict (the admin
+    server's ``/profilez`` payload) — it is only called on success.
     """
     from ..obs.profile import graph_fingerprint
 
@@ -157,6 +170,16 @@ def execute_query(query: Query, graph=None, *, tracer=None) -> QueryOutcome:
             query, exc, latency_s=time.perf_counter() - t0
         )
     from ..obs.metrics import collect_result_metrics
+
+    if profile_sink is not None:
+        from ..obs.profile import RunProfile
+
+        try:
+            profile_sink(
+                RunProfile.from_result(result, tracer=tracer).to_dict()
+            )
+        except Exception:  # profiling must never fail the query
+            pass
 
     return QueryOutcome(
         id=query.id,
@@ -197,6 +220,11 @@ def _run_code(query: Query, graph, tracer):
         fault_plan = None
         if query.n_faults > 0:
             fault_plan = _build_fault_plan(query, config, graph, system.gpu)
+        # Bind the query ID into the solver's event log so solver/
+        # resilience events join back to the serving-layer events (the
+        # solver adds its own run ID on top).
+        log = get_event_log()
+        events = log.bind(query=query.id) if log.enabled else None
         return ecl_mst(
             graph,
             config,
@@ -205,6 +233,7 @@ def _run_code(query: Query, graph, tracer):
             tracer=tracer,
             resilience=resilience,
             fault_plan=fault_plan,
+            events=events,
         )
     try:
         runner = get_runner(query.code)
@@ -286,11 +315,23 @@ class MSTService:
         config: ServiceConfig | None = None,
         *,
         registry: MetricsRegistry | None = None,
+        events=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.registry = registry or MetricsRegistry()
+        self.events = events if events is not None else get_event_log()
         self.results = LRUCache(self.config.result_cache_size)
         self.graphs = LRUCache(self.config.graph_cache_size)
+        # Sliding windows behind service.qps / p50 / p95 and the SLOs:
+        # recent traffic, not process lifetime (the lifetime histogram
+        # still exists for totals).
+        self._lat_window = SlidingHistogram(window_s=self.config.window_s)
+        self._done_window = SlidingCounter(window_s=self.config.window_s)
+        self.slo = SLOTracker(
+            window_s=self.config.window_s, events=self.events
+        )
+        self.started_at = time.time()
+        self.latest_profile: dict | None = None
         self._lock = threading.Lock()
         self._inflight: dict[str, concurrent.futures.Future] = {}
         # Learned spec-key -> result-key mapping: lets the submit path
@@ -321,6 +362,14 @@ class MSTService:
         """Enqueue one query; blocks while the queue is at capacity."""
         now = time.perf_counter()
         self.registry.counter("service.queries").inc()
+        if self.events.enabled:
+            self.events.emit(
+                "service.enqueue",
+                level="debug",
+                query=query.id,
+                input=query.input,
+                code=query.code,
+            )
         with self._lock:
             if self._first_submit is None:
                 self._first_submit = now
@@ -331,12 +380,23 @@ class MSTService:
                 pass  # unresolvable config: fails in the worker instead
             if key is not None and key in self._inflight:
                 self.registry.counter("service.dedup_hits").inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "service.dedup", level="info", query=query.id
+                    )
                 return Ticket(query, self._inflight[key], now, False, self)
             rkey = self._spec_to_rkey.get(key) if key is not None else None
         if rkey is not None:
             cached = self.results.get(rkey)
             if cached is not None:
                 self.registry.counter("service.result_cache_hits").inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "service.cache_hit",
+                        level="info",
+                        query=query.id,
+                        path="submit",
+                    )
                 done: concurrent.futures.Future = concurrent.futures.Future()
                 done.set_result(replace(cached, served_by=SERVED_CACHE))
                 return Ticket(query, done, now, True, self)
@@ -392,6 +452,13 @@ class MSTService:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             self.registry.counter("service.errors").inc()
+            if self.events.enabled:
+                self.events.emit(
+                    "service.error",
+                    level="error",
+                    query=query.id,
+                    error=str(exc),
+                )
             return QueryOutcome.failure(query, exc)
         from ..obs.profile import graph_fingerprint
 
@@ -399,14 +466,47 @@ class MSTService:
         cached = self.results.get(rkey)
         if cached is not None:
             self.registry.counter("service.result_cache_hits").inc()
+            if self.events.enabled:
+                self.events.emit(
+                    "service.cache_hit",
+                    level="info",
+                    query=query.id,
+                    path="worker",
+                )
             return replace(cached, served_by=SERVED_CACHE)
         self.registry.counter("service.executed").inc()
-        outcome = execute_query(query, graph, tracer=tracer)
+        if self.events.enabled:
+            self.events.emit(
+                "service.execute",
+                level="info",
+                query=query.id,
+                input=query.input,
+                code=query.code,
+            )
+        outcome = execute_query(
+            query,
+            graph,
+            tracer=tracer,
+            profile_sink=self._store_profile if self.config.keep_profile else None,
+        )
         if outcome.ok:
             self.results.put(rkey, outcome)
         else:
             self.registry.counter("service.errors").inc()
+            if self.events.enabled:
+                self.events.emit(
+                    "service.error",
+                    level="error",
+                    query=query.id,
+                    error=outcome.error or "?",
+                )
         return outcome
+
+    def _store_profile(self, profile: dict) -> None:
+        """Retain the most recent executed query's run profile (the
+        admin server's ``/profilez`` payload)."""
+        with self._lock:
+            self.latest_profile = profile
 
     def _resolve_graph(self, query: Query):
         skey = _graph_source_key(query)
@@ -440,9 +540,20 @@ class MSTService:
             raw, id=ticket.query.id, served_by=served, latency_s=latency
         )
         self.registry.histogram("service.latency").observe(latency)
+        self._observe_done(out, latency)
         if out.status == "timeout":
             self.registry.counter("service.timeouts").inc()
         return out
+
+    def _observe_done(self, out: QueryOutcome, latency: float) -> None:
+        """Feed one finished waiter into the sliding windows and SLOs."""
+        self._lat_window.observe(latency)
+        self._done_window.inc()
+        escaped = 0
+        res = out.resilience
+        if isinstance(res, dict):
+            escaped = int(res.get("escaped", 0) or 0)
+        self.slo.record(ok=out.ok, latency_s=latency, escaped=escaped)
 
     def _timeout_outcome(
         self, ticket: Ticket, timeout: float | None, why: str
@@ -450,12 +561,22 @@ class MSTService:
         self.registry.counter("service.timeouts").inc()
         latency = time.perf_counter() - ticket.submitted_at
         self.registry.histogram("service.latency").observe(latency)
-        return QueryOutcome.failure(
+        if self.events.enabled:
+            self.events.emit(
+                "service.timeout",
+                level="warning",
+                query=ticket.query.id,
+                timeout_s=timeout,
+                why=why,
+            )
+        out = QueryOutcome.failure(
             ticket.query,
             TimeoutError(f"{why} (timeout {timeout}s)"),
             status="timeout",
             latency_s=latency,
         )
+        self._observe_done(out, latency)
+        return out
 
     def _on_timeout(self, ticket: Ticket, timeout: float | None) -> QueryOutcome:
         if ticket.future.cancel():
@@ -503,15 +624,13 @@ class MSTService:
         reg.gauge("service.cache_hit_ratio").set(
             hits / queries if queries else 0.0
         )
-        lat = reg.histogram("service.latency")
-        reg.gauge("service.p50_latency").set(lat.quantile(0.5))
-        reg.gauge("service.p95_latency").set(lat.quantile(0.95))
-        if self._first_submit is not None and self._last_done is not None:
-            elapsed = self._last_done - self._first_submit
-            completed = len(lat.samples)
-            reg.gauge("service.qps").set(
-                completed / elapsed if elapsed > 0 else 0.0
-            )
+        # p50/p95/qps reflect the sliding window (recent traffic), not
+        # the process lifetime: a long-lived service reports what it is
+        # doing *now*.  The lifetime histogram stays in the registry
+        # for totals (service.latency.count / .sum).
+        reg.gauge("service.p50_latency").set(self._lat_window.quantile(0.5))
+        reg.gauge("service.p95_latency").set(self._lat_window.quantile(0.95))
+        reg.gauge("service.qps").set(self._done_window.rate())
         out = {
             k: v
             for k, v in reg.as_dict().items()
@@ -520,6 +639,41 @@ class MSTService:
         out["service.graph_cache_size"] = float(len(self.graphs))
         out["service.result_cache_size"] = float(len(self.results))
         return out
+
+    def slo_statuses(self):
+        """Evaluate every SLO against the current window (and emit
+        burn/recovered alert events on state transitions)."""
+        return self.slo.evaluate()
+
+    def status(self) -> dict:
+        """JSON-friendly live snapshot (the admin ``/statusz`` body)."""
+        from .. import __version__
+
+        with self._lock:
+            depth = self._depth
+        return {
+            "version": __version__,
+            "uptime_s": time.time() - self.started_at,
+            "config": {
+                "workers": self.config.workers,
+                "pool": self.config.pool,
+                "result_cache_size": self.config.result_cache_size,
+                "graph_cache_size": self.config.graph_cache_size,
+                "max_queue_depth": self.config.max_queue_depth,
+                "window_s": self.config.window_s,
+            },
+            "queue_depth": depth,
+            "caches": {
+                "results": len(self.results),
+                "graphs": len(self.graphs),
+            },
+            "window": {
+                "completed": self._done_window.total(),
+                "qps": self._done_window.rate(),
+                "latency": self._lat_window.summary(),
+            },
+            "slos": [s.to_dict() for s in self.slo_statuses()],
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

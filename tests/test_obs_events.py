@@ -1,0 +1,216 @@
+"""Structured event log: levels, sinks, binding, zero overhead."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.eclmst import ecl_mst
+from repro.generators.random_graphs import erdos_renyi
+from repro.obs.events import (
+    LEVELS,
+    NULL_EVENTS,
+    ConsoleSink,
+    Event,
+    EventLog,
+    ListSink,
+    NDJSONSink,
+    configure_events,
+    get_event_log,
+    new_run_id,
+    reset_events,
+)
+from repro.obs.metrics import collect_result_metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_global():
+    yield
+    reset_events()
+
+
+# ---------------------------------------------------------------------------
+# Event rendering
+# ---------------------------------------------------------------------------
+class TestEvent:
+    def test_to_dict_flattens_fields(self):
+        e = Event(name="x", level="info", ts=1.5, fields={"a": 1})
+        assert e.to_dict() == {"ts": 1.5, "level": "info", "event": "x", "a": 1}
+
+    def test_json_line_round_trips(self):
+        e = Event(name="x", level="warning", ts=2.0, fields={"k": "v"})
+        assert json.loads(e.to_json_line()) == e.to_dict()
+
+    def test_json_line_stringifies_exotic_values(self):
+        # default=str keeps the sink from crashing on numpy scalars.
+        e = Event(name="x", ts=0.0, fields={"n": np.int64(3)})
+        assert json.loads(e.to_json_line())["n"] in (3, "3")
+
+
+# ---------------------------------------------------------------------------
+# Leveling and sinks
+# ---------------------------------------------------------------------------
+class TestEventLog:
+    def test_level_threshold_filters(self):
+        sink = ListSink()
+        log = EventLog(level="warning", sinks=[sink])
+        log.emit("quiet", level="info")
+        log.emit("loud", level="error")
+        assert [e.name for e in sink.events] == ["loud"]
+
+    def test_would_emit_matches_threshold(self):
+        log = EventLog(level="info", sinks=[])
+        assert log.would_emit("info") and log.would_emit("error")
+        assert not log.would_emit("debug")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(level="verbose")
+
+    def test_levels_are_ordered(self):
+        assert (
+            LEVELS["debug"]
+            < LEVELS["info"]
+            < LEVELS["warning"]
+            < LEVELS["error"]
+            < LEVELS["off"]
+        )
+
+    def test_ndjson_sink_writes_parseable_lines(self):
+        buf = io.StringIO()
+        log = EventLog(level="debug", sinks=[NDJSONSink(buf)])
+        log.emit("a", level="debug", n=1)
+        log.emit("b", level="info", n=2)
+        lines = [json.loads(ln) for ln in buf.getvalue().splitlines()]
+        assert [ln["event"] for ln in lines] == ["a", "b"]
+        assert lines[0]["n"] == 1 and "ts" in lines[0]
+
+    def test_console_sink_is_human_readable(self):
+        buf = io.StringIO()
+        log = EventLog(
+            level="info", sinks=[ConsoleSink(buf)], clock=lambda: 0.25
+        )
+        log.emit("service.enqueue", level="warning", query="q1")
+        line = buf.getvalue()
+        assert "WARNING" in line
+        assert "service.enqueue" in line
+        assert "query=q1" in line
+
+    def test_list_sink_maxlen_keeps_newest(self):
+        sink = ListSink(maxlen=2)
+        log = EventLog(level="debug", sinks=[sink])
+        for i in range(5):
+            log.emit(f"e{i}", level="info")
+        assert [e.name for e in sink.events] == ["e3", "e4"]
+
+    def test_clock_injection(self):
+        sink = ListSink()
+        log = EventLog(level="info", sinks=[sink], clock=lambda: 42.0)
+        log.emit("x")
+        assert sink.events[0].ts == 42.0
+
+
+class TestBinding:
+    def test_bound_fields_ride_every_event(self):
+        sink = ListSink()
+        log = EventLog(level="debug", sinks=[sink]).bind(query="q7")
+        log.emit("service.execute", level="info", input="internet")
+        assert sink.events[0].fields == {"query": "q7", "input": "internet"}
+
+    def test_nested_binds_merge(self):
+        sink = ListSink()
+        log = EventLog(level="debug", sinks=[sink])
+        child = log.bind(query="q1").bind(run="run-000009")
+        child.emit("solver.round", round=3)
+        assert sink.events[0].fields == {
+            "query": "q1",
+            "run": "run-000009",
+            "round": 3,
+        }
+
+    def test_emit_fields_override_bound(self):
+        sink = ListSink()
+        log = EventLog(level="debug", sinks=[sink]).bind(round=0)
+        log.emit("x", round=5)
+        assert sink.events[0].fields["round"] == 5
+
+
+# ---------------------------------------------------------------------------
+# The null log (zero-overhead contract)
+# ---------------------------------------------------------------------------
+class TestNullLog:
+    def test_disabled_and_inert(self):
+        assert NULL_EVENTS.enabled is False
+        assert NULL_EVENTS.bind(query="q") is NULL_EVENTS
+        assert NULL_EVENTS.would_emit("error") is False
+        NULL_EVENTS.emit("anything", level="error", huge=object())  # no-op
+
+
+# ---------------------------------------------------------------------------
+# Process-global configuration (the CLI flags)
+# ---------------------------------------------------------------------------
+class TestConfigure:
+    def test_default_is_null(self):
+        reset_events()
+        assert get_event_log() is NULL_EVENTS
+
+    def test_configure_json_file(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        log = configure_events(level="debug", json_path=str(path))
+        assert get_event_log() is log and log.enabled
+        log.emit("hello", level="info", n=1)
+        reset_events()
+        rows = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert rows[0]["event"] == "hello"
+        assert get_event_log() is NULL_EVENTS
+
+    def test_off_level_stays_null(self):
+        configure_events(level="off")
+        assert get_event_log() is NULL_EVENTS
+
+    def test_extra_sinks(self):
+        sink = ListSink()
+        configure_events(level="info", extra_sinks=[sink], console=False)
+        get_event_log().emit("x")
+        assert [e.name for e in sink.events] == ["x"]
+
+    def test_run_ids_are_monotonic(self):
+        a, b = new_run_id(), new_run_id()
+        assert a != b
+        assert int(b.split("-")[1]) == int(a.split("-")[1]) + 1
+
+
+# ---------------------------------------------------------------------------
+# Telemetry must only observe: bit-identical results with events on
+# ---------------------------------------------------------------------------
+class TestBitIdentity:
+    def test_solver_results_identical_with_event_log_on(self):
+        g = erdos_renyi(500, 2500, seed=3)
+        plain = ecl_mst(g)
+        sink = ListSink()
+        configure_events(level="debug", extra_sinks=[sink], console=False)
+        try:
+            logged = ecl_mst(g)
+        finally:
+            reset_events()
+        assert sink.events, "event log saw nothing"
+        assert logged.total_weight == plain.total_weight
+        assert logged.rounds == plain.rounds
+        assert np.array_equal(logged.in_mst, plain.in_mst)
+        assert collect_result_metrics(logged) == collect_result_metrics(plain)
+
+    def test_solver_emits_run_lifecycle(self):
+        g = erdos_renyi(200, 800, seed=5)
+        sink = ListSink()
+        configure_events(level="debug", extra_sinks=[sink], console=False)
+        try:
+            ecl_mst(g)
+        finally:
+            reset_events()
+        names = [e.name for e in sink.events]
+        assert names[0] == "solver.run.start"
+        assert names[-1] == "solver.run.done"
+        assert "solver.round" in names
+        runs = {e.fields.get("run") for e in sink.events}
+        assert len(runs) == 1 and next(iter(runs)).startswith("run-")

@@ -1,0 +1,147 @@
+"""Declarative SLOs: burn rates, windows, and alert transitions."""
+
+import pytest
+
+from repro.obs.events import EventLog, ListSink
+from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class ListSinkLog:
+    """Minimal stand-in: records evaluate()'s transition emits."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.sink = ListSink()
+        self._log = EventLog(level="debug", sinks=[self.sink])
+
+    def emit(self, name, level="info", **fields):
+        self._log.emit(name, level=level, **fields)
+
+    @property
+    def names(self):
+        return [e.name for e in self.sink.events]
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+class TestSLOSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="uptime")
+
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="availability", objective=0.0)
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="availability", objective=1.5)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="latency", objective=0.9)
+
+    def test_defaults_cover_the_three_promises(self):
+        kinds = {s.kind for s in DEFAULT_SLOS}
+        assert kinds == {"availability", "latency", "zero"}
+
+
+# ---------------------------------------------------------------------------
+# Burn-rate arithmetic
+# ---------------------------------------------------------------------------
+class TestBurn:
+    def test_idle_window_burns_nothing(self):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.99)
+        t = SLOTracker((spec,), window_s=60.0)
+        (st,) = t.evaluate()
+        assert st.sli == 1.0 and st.burn_rate == 0.0 and not st.alerting
+
+    def test_availability_burn_formula(self):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.99)
+        t = SLOTracker((spec,), window_s=60.0)
+        for ok in [True] * 95 + [False] * 5:
+            t.record(ok=ok, latency_s=0.01)
+        (st,) = t.evaluate()
+        assert st.sli == pytest.approx(0.95)
+        assert st.burn_rate == pytest.approx(0.05 / 0.01)  # 5x the budget
+        assert st.alerting
+
+    def test_latency_slo_counts_fast_queries(self):
+        spec = SLOSpec(
+            name="lat", kind="latency", objective=0.5, threshold_s=1.0
+        )
+        t = SLOTracker((spec,), window_s=60.0)
+        t.record(ok=True, latency_s=0.2)
+        t.record(ok=True, latency_s=5.0)
+        (st,) = t.evaluate()
+        assert st.sli == pytest.approx(0.5)
+        assert st.burn_rate == pytest.approx(1.0)
+        assert not st.alerting  # burn must *exceed* alert_burn
+
+    def test_zero_kind_saturates_on_any_escape(self):
+        spec = SLOSpec(name="esc", kind="zero", objective=1.0)
+        t = SLOTracker((spec,), window_s=60.0)
+        t.record(ok=True, latency_s=0.1)
+        (st,) = t.evaluate()
+        assert st.burn_rate == 0.0
+        t.record(ok=True, latency_s=0.1, escaped=1)
+        (st,) = t.evaluate()
+        assert st.sli == 0.0
+        assert st.burn_rate == float("inf")
+        assert st.alerting
+
+
+# ---------------------------------------------------------------------------
+# Alert transitions (events fire on edges, not levels)
+# ---------------------------------------------------------------------------
+class TestTransitions:
+    def test_burn_and_recover_emit_once_each(self):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.99)
+        clk = FakeClock(1000.0)
+        log = ListSinkLog()
+        t = SLOTracker((spec,), window_s=60.0, events=log, clock=clk)
+        for _ in range(10):
+            t.record(ok=False, latency_s=0.1, ts=clk.t)
+        t.evaluate(now=clk.t)
+        t.evaluate(now=clk.t)  # still burning: no duplicate event
+        assert log.names == ["slo.burn"]
+        clk.t += 120.0  # the window rolls clean
+        t.evaluate(now=clk.t)
+        t.evaluate(now=clk.t)
+        assert log.names == ["slo.burn", "slo.recovered"]
+
+    def test_burn_event_carries_identity(self):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.99)
+        log = ListSinkLog()
+        t = SLOTracker((spec,), window_s=60.0, events=log)
+        t.record(ok=False, latency_s=0.1)
+        t.evaluate()
+        (ev,) = log.sink.events
+        assert ev.level == "error"
+        assert ev.fields["slo"] == "avail"
+        assert "burn_rate" in ev.fields
+
+
+# ---------------------------------------------------------------------------
+# Windowing
+# ---------------------------------------------------------------------------
+class TestWindowing:
+    def test_failures_age_out(self):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.99)
+        clk = FakeClock(0.0)
+        t = SLOTracker((spec,), window_s=60.0, clock=clk)
+        t.record(ok=False, latency_s=0.1, ts=0.0)
+        clk.t = 30.0
+        (st,) = t.evaluate(now=clk.t)
+        assert st.alerting
+        clk.t = 120.0
+        (st,) = t.evaluate(now=clk.t)
+        assert st.sli == 1.0 and not st.alerting

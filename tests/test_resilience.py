@@ -322,3 +322,81 @@ class TestErrorTaxonomy:
     def test_exit_code_constants_distinct(self):
         codes = {EXIT_INPUT_ERROR, EXIT_UNRECOVERED_FAULT, 2, 1, 0}
         assert len(codes) == 5
+
+
+# ---------------------------------------------------------------------------
+# Telemetry join: the NDJSON event log and the span trace correlate
+# ---------------------------------------------------------------------------
+class TestTelemetryJoin:
+    def test_resilience_events_join_trace_spans(self, graph):
+        from repro.obs.events import ListSink, configure_events, reset_events
+        from repro.obs.trace import Tracer
+
+        sink = ListSink()
+        configure_events(level="debug", extra_sinks=[sink], console=False)
+        tracer = Tracer()
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(kind="bitflip-parent", index=4, lane=17, bit=5),
+            ),
+        )
+        try:
+            r = ecl_mst(
+                graph,
+                resilience=ResilienceConfig(),
+                fault_plan=plan,
+                tracer=tracer,
+            )
+        finally:
+            reset_events()
+        assert r.extra["resilience"]["detected"] >= 1
+
+        names = [e.name for e in sink.events]
+        assert "fault.injected" in names
+        assert "recovery.detected" in names
+
+        # Every event that claims a span must join to a real span ID in
+        # the trace (span=0 means "no span active", never a dangle).
+        span_ids = {sp.id for sp in tracer.spans()}
+        correlated = [
+            e for e in sink.events if e.fields.get("span", 0) > 0
+        ]
+        assert correlated, "no events carried a span correlation ID"
+        for ev in correlated:
+            assert ev.fields["span"] in span_ids, (
+                f"{ev.name} points at unknown span {ev.fields['span']}"
+            )
+
+        # One run ID binds the whole story.
+        runs = {
+            e.fields["run"] for e in sink.events if "run" in e.fields
+        }
+        assert len(runs) == 1
+        assert next(iter(runs)).startswith("run-")
+
+    def test_event_log_does_not_perturb_recovery(self, graph):
+        from repro.obs.events import ListSink, configure_events, reset_events
+
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(kind="bitflip-parent", index=4, lane=17, bit=5),
+            ),
+        )
+        plain = ecl_mst(graph, resilience=ResilienceConfig(), fault_plan=plan)
+        configure_events(
+            level="debug", extra_sinks=[ListSink()], console=False
+        )
+        try:
+            logged = ecl_mst(
+                graph, resilience=ResilienceConfig(), fault_plan=plan
+            )
+        finally:
+            reset_events()
+        assert logged.total_weight == plain.total_weight
+        assert np.array_equal(logged.in_mst, plain.in_mst)
+        assert (
+            logged.extra["resilience"]["detected"]
+            == plain.extra["resilience"]["detected"]
+        )
