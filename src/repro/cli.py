@@ -315,6 +315,27 @@ def _cmd_chaos(args) -> int:
     from .resilience import ResilienceConfig, run_campaign
     from .resilience.faults import FAULT_KINDS
 
+    if args.serve:
+        # Chaos-under-load: drive a policy-armed service instead of a
+        # bare solver loop (overload + quarantine + breaker drill).
+        from .resilience import run_service_campaign
+
+        progress = (
+            (lambda line: print(line, file=sys.stderr))
+            if args.verbose
+            else None
+        )
+        report = run_service_campaign(
+            args.input,
+            scale=args.scale,
+            n_queries=args.queries,
+            slowdown=args.slowdown,
+            seed=args.seed,
+            progress=progress,
+        )
+        print(report.render())
+        return 0 if report.passed else 1
+
     kinds = FAULT_KINDS
     if args.kinds:
         kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
@@ -396,6 +417,26 @@ def _cmd_perf(args) -> int:
     return 0 if report.passed else 1
 
 
+def _policy_from_args(args):
+    """A :class:`PolicyConfig` from the CLI knobs, or ``None`` when
+    every overload-safety mechanism is left off."""
+    from .resilience.policy import PolicyConfig
+
+    policy = PolicyConfig(
+        admission_rate=getattr(args, "admission_rate", 0.0),
+        admission_burst=getattr(args, "admission_burst", 8),
+        max_retries=getattr(args, "max_retries", 0),
+        breaker_threshold=getattr(args, "breaker_threshold", 0),
+        breaker_cooldown_s=getattr(args, "breaker_cooldown", 1.0),
+        serve_stale=getattr(args, "serve_stale", False),
+        fresh_ttl_s=getattr(args, "fresh_ttl", 0.0),
+        degrade_serial=getattr(args, "degrade_serial", False),
+        quarantine_after=getattr(args, "quarantine_after", 0),
+        seed=getattr(args, "policy_seed", 0),
+    )
+    return policy if policy.enabled else None
+
+
 def _service_from_args(args):
     from .service import MSTService, ServiceConfig
 
@@ -409,6 +450,8 @@ def _service_from_args(args):
             default_timeout_s=args.timeout,
             # Admin endpoints imply profile retention (/profilez).
             keep_profile=getattr(args, "admin_port", None) is not None,
+            policy=_policy_from_args(args),
+            slowdown=getattr(args, "slowdown", 1.0),
         )
     )
 
@@ -675,6 +718,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p_chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="chaos-under-load drill: oversubscribed concurrent chaos "
+        "queries against a policy-armed service (suite inputs only)",
+    )
+    p_chaos.add_argument(
+        "--queries",
+        type=int,
+        default=16,
+        help="concurrent queries in the --serve overload phase",
+    )
+    p_chaos.add_argument(
+        "--slowdown",
+        type=float,
+        default=2.0,
+        help="modeled-hardware slowdown factor for --serve",
+    )
+    p_chaos.add_argument(
         "-v", "--verbose", action="store_true", help="per-trial progress"
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
@@ -782,6 +843,88 @@ def _build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             help="default per-query timeout in seconds",
+        )
+        # Overload-safety policy knobs (all off by default; any nonzero/
+        # true knob arms the serving policy, which needs --pool thread).
+        p.add_argument(
+            "--admission-rate",
+            type=float,
+            default=0.0,
+            dest="admission_rate",
+            help="admission token-bucket refill (queries/s; 0 = off)",
+        )
+        p.add_argument(
+            "--admission-burst",
+            type=int,
+            default=8,
+            dest="admission_burst",
+            help="admission token-bucket capacity",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=0,
+            dest="max_retries",
+            help="per-query retry budget for transient failures (0 = off)",
+        )
+        p.add_argument(
+            "--breaker-threshold",
+            type=int,
+            default=0,
+            dest="breaker_threshold",
+            help="consecutive failures opening a graph's circuit "
+            "breaker (0 = off)",
+        )
+        p.add_argument(
+            "--breaker-cooldown",
+            type=float,
+            default=1.0,
+            dest="breaker_cooldown",
+            help="seconds an open breaker cools before probing",
+        )
+        p.add_argument(
+            "--serve-stale",
+            action="store_true",
+            dest="serve_stale",
+            help="answer shed/broken queries from stale cache entries "
+            "(degraded outcomes)",
+        )
+        p.add_argument(
+            "--fresh-ttl",
+            type=float,
+            default=0.0,
+            dest="fresh_ttl",
+            help="cache-entry freshness window in seconds (0 = never "
+            "expires); older entries only serve degraded",
+        )
+        p.add_argument(
+            "--degrade-serial",
+            action="store_true",
+            dest="degrade_serial",
+            help="fall back to serial Kruskal (reduced priority) when "
+            "retries are exhausted or the breaker is open",
+        )
+        p.add_argument(
+            "--quarantine-after",
+            type=int,
+            default=0,
+            dest="quarantine_after",
+            help="consecutive failed executions before a query spec is "
+            "quarantined (0 = off)",
+        )
+        p.add_argument(
+            "--policy-seed",
+            type=int,
+            default=0,
+            dest="policy_seed",
+            help="seed for backoff jitter and breaker cooldown jitter",
+        )
+        p.add_argument(
+            "--slowdown",
+            type=float,
+            default=1.0,
+            help="slow the modeled hardware by this exact factor "
+            "(chaos-under-load testing)",
         )
         p.add_argument("--out", help="write result NDJSON to this file")
 
@@ -966,11 +1109,13 @@ def main(argv: list[str] | None = None) -> int:
         configure_events(level=level, json_path=json_path)
     from .errors import (
         EXIT_INPUT_ERROR,
+        EXIT_OVERLOADED,
         EXIT_UNRECOVERED_FAULT,
         EXIT_VERIFY_FAILED,
         DeviceFault,
         GraphFormatError,
         InvariantViolation,
+        Overloaded,
         UnrecoveredFaultError,
         VerificationError,
     )
@@ -986,6 +1131,9 @@ def main(argv: list[str] | None = None) -> int:
     except (DeviceFault, InvariantViolation, UnrecoveredFaultError) as exc:
         print(f"unrecovered fault: {exc}", file=sys.stderr)
         return EXIT_UNRECOVERED_FAULT
+    except Overloaded as exc:
+        print(f"overloaded: {exc}", file=sys.stderr)
+        return EXIT_OVERLOADED
 
 
 if __name__ == "__main__":  # pragma: no cover

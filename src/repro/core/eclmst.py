@@ -15,8 +15,11 @@ with deterministic transient faults — see :mod:`repro.resilience`.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..errors import DeadlineExceeded
 from ..graph.csr import CSRGraph
 from ..gpusim.atomics import KEY_INFINITY, atomic_min_u64, pack_keys
 from ..gpusim.costmodel import Device
@@ -38,6 +41,19 @@ from .result import MstResult, RoundStats
 __all__ = ["ecl_mst"]
 
 
+def _check_deadline(deadline: float | None, rounds: int) -> None:
+    """Round-boundary deadline check (the invariant-sweep cadence).
+
+    ``deadline`` is a ``time.perf_counter`` timestamp; crossing it
+    aborts the run with :class:`DeadlineExceeded` instead of burning
+    worker time on an answer nobody is waiting for.
+    """
+    if deadline is not None and time.perf_counter() > deadline:
+        raise DeadlineExceeded(
+            f"query deadline expired entering round {rounds}"
+        )
+
+
 def _edge_weight_table(graph: CSRGraph) -> np.ndarray:
     """weight per undirected edge ID (for the final tally)."""
     table = np.zeros(graph.num_edges, dtype=np.int64)
@@ -51,12 +67,14 @@ def _run_data_driven_loop(
     round_log: list[RoundStats] | None = None,
     guard=None,
     events=NULL_EVENTS,
+    deadline: float | None = None,
 ) -> int:
     """The Alg.-2 while loop; returns the number of rounds executed."""
     tracer = state.device.tracer
     rounds = 0
     while len(state.wl.front):
         rounds += 1
+        _check_deadline(deadline, rounds)
         entries = len(state.wl.front)
 
         def body(rounds=rounds, entries=entries):
@@ -97,6 +115,7 @@ def _run_topology_driven_loop(
     weight_of_edge: np.ndarray,
     guard=None,
     events=NULL_EVENTS,
+    deadline: float | None = None,
 ) -> int:
     """De-optimized loop: every round rescans all candidate edges.
 
@@ -120,6 +139,7 @@ def _run_topology_driven_loop(
     rounds = 0
     while True:
         rounds += 1
+        _check_deadline(deadline, rounds)
 
         def body(rounds=rounds):
             with tracer.span(
@@ -169,6 +189,7 @@ def ecl_mst(
     resilience=None,
     fault_plan=None,
     events=None,
+    deadline: float | None = None,
 ) -> MstResult:
     """Compute the MSF of ``graph`` with ECL-MST on the simulated GPU.
 
@@ -210,6 +231,14 @@ def ecl_mst(
         is the zero-overhead :data:`~repro.obs.events.NULL_EVENTS`
         unless telemetry was turned on.  Emitting events never changes
         the computed MSF or the modeled counters.
+    deadline:
+        Optional ``time.perf_counter`` timestamp.  Checked at every
+        round boundary (the same cadence as the invariant sweeps);
+        once crossed the run aborts with
+        :class:`~repro.errors.DeadlineExceeded` — the serving layer
+        propagates per-query deadlines here so a query that already
+        missed its timeout stops consuming the worker.  ``None`` (the
+        default) never checks and adds no overhead.
 
     Returns
     -------
@@ -240,11 +269,12 @@ def ecl_mst(
         kernel_init_populate(state, threshold, phase=phase_no)
         if config.data_driven:
             return _run_data_driven_loop(
-                state, weight_of_edge, round_log, guard=guard, events=events
+                state, weight_of_edge, round_log, guard=guard, events=events,
+                deadline=deadline,
             )
         return _run_topology_driven_loop(
             state, threshold, phase_no, weight_of_edge, guard=guard,
-            events=events,
+            events=events, deadline=deadline,
         )
 
     def _guarded_phase(label: str, threshold: int | None, phase_no: int) -> int:

@@ -12,12 +12,16 @@ Hierarchy::
     ├── VerificationError     (also AssertionError) — result != serial Kruskal
     ├── DeviceFault           (also RuntimeError)  — simulated hardware fault
     ├── InvariantViolation    (also AssertionError) — online check tripped
-    └── UnrecoveredFaultError (also RuntimeError)  — recovery ladder exhausted
+    ├── UnrecoveredFaultError (also RuntimeError)  — recovery ladder exhausted
+    ├── DeadlineExceeded      (also TimeoutError)  — query deadline hit mid-run
+    └── Overloaded            (also RuntimeError)  — admission control shed it
 
 The CLI maps the families onto distinct nonzero exit codes
 (:data:`EXIT_INPUT_ERROR`, :data:`EXIT_VERIFY_FAILED`,
-:data:`EXIT_UNRECOVERED_FAULT`); ``2`` stays argparse's usage-error
-code and ``1`` the generic failure.
+:data:`EXIT_UNRECOVERED_FAULT`, :data:`EXIT_OVERLOADED`); ``2`` stays
+argparse's usage-error code and ``1`` the generic failure (timeouts
+included — a timeout is a scheduling outcome, overload is a deliberate
+serving decision, so the two carry different codes).
 """
 
 from __future__ import annotations
@@ -30,14 +34,18 @@ __all__ = [
     "DeviceFault",
     "InvariantViolation",
     "UnrecoveredFaultError",
+    "DeadlineExceeded",
+    "Overloaded",
     "EXIT_INPUT_ERROR",
     "EXIT_VERIFY_FAILED",
     "EXIT_UNRECOVERED_FAULT",
+    "EXIT_OVERLOADED",
 ]
 
 EXIT_INPUT_ERROR = 3
 EXIT_VERIFY_FAILED = 4
 EXIT_UNRECOVERED_FAULT = 5
+EXIT_OVERLOADED = 6
 
 
 class ReproError(Exception):
@@ -111,3 +119,31 @@ class InvariantViolation(ReproError, AssertionError):
 class UnrecoveredFaultError(ReproError, RuntimeError):
     """The whole recovery ladder (retry, phase restart, fallback) failed
     or was disabled while a fault remained detected."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A query's deadline expired while the solver was still running.
+
+    The service propagates per-query deadlines into
+    :func:`~repro.core.eclmst.ecl_mst`, which checks them at round
+    boundaries (the same cadence the invariant sweeps use) and aborts
+    with this error instead of burning worker time on an answer nobody
+    is waiting for.  Classified as a timeout outcome, never retried
+    past the deadline.
+    """
+
+
+class Overloaded(ReproError, RuntimeError):
+    """The service shed this query to protect itself (admission control,
+    queue-depth gate, or an open circuit breaker).
+
+    Distinct from a timeout: the query was *rejected before running*,
+    so the client may safely retry later — the CLI surfaces it as
+    :data:`EXIT_OVERLOADED`.  ``reason`` says which gate fired
+    (``"token-bucket"``, ``"queue-depth"``, ``"breaker-open"``,
+    ``"shutdown"``).
+    """
+
+    def __init__(self, message: str, *, reason: str = "overload") -> None:
+        super().__init__(message)
+        self.reason = reason

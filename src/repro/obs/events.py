@@ -3,8 +3,11 @@
 Where :mod:`~repro.obs.trace` answers "where did the time go" after a
 run, the event log answers "what is the system doing *right now*": the
 service engine emits enqueue/dedup/cache-hit/timeout events, the
-resilience ladder emits fault/violation/recovery events, and the core
-solver emits phase/round transitions — all as flat, JSON-renderable
+resilience ladder emits fault/violation/recovery events, the serving
+policy emits shed/retry/degrade/quarantine decisions plus the
+edge-triggered ``breaker.open``/``breaker.closed`` transitions, and
+the core solver emits phase/round transitions — all as flat,
+JSON-renderable
 :class:`Event` records that a live tail (or a post-hoc join against
 the span trace) can follow.
 

@@ -63,8 +63,17 @@ _INFO = {
     "service.p50_latency",
     "service.p95_latency",
     "service.qps",
+    # Policy decisions are load-dependent serving behavior, not solver
+    # performance: shed/retry/breaker counts describe the traffic the
+    # service faced, so they inform operators and never gate diffs.
+    "resilience.policy.admitted",
+    "resilience.policy.shed",
+    "resilience.policy.retries",
+    "resilience.policy.breaker_fastfail",
+    "resilience.policy.degraded",
+    "resilience.policy.quarantined",
 }
-_INFO_PREFIXES = ("service.latency.",)
+_INFO_PREFIXES = ("service.latency.", "resilience.policy.")
 
 
 def metric_direction(name: str) -> str:

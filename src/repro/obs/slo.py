@@ -24,10 +24,14 @@ Spec kinds:
   resilience guarantee *escaped faults = 0*): SLI is 1.0 while the
   window holds zero such events and 0.0 otherwise, so a single escape
   saturates the burn rate.
+* ``shed`` — SLI is the fraction of queries in the window that were
+  *not* load-shed (admission control / open breaker).  Shedding is
+  deliberate, but sustained shedding means the service is turning
+  users away — the objective bounds how much of that is acceptable.
 
 The default spec set (:data:`DEFAULT_SLOS`) encodes the repo's serving
-promises: 99% availability, 95% of queries under one second, and zero
-escaped faults.
+promises: 99% availability, 95% of queries under one second, zero
+escaped faults, and at most 1% of queries shed.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from .window import SlidingCounter
 
 __all__ = ["SLOSpec", "SLOStatus", "SLOTracker", "DEFAULT_SLOS"]
 
-_KINDS = ("availability", "latency", "zero")
+_KINDS = ("availability", "latency", "zero", "shed")
 
 
 @dataclass(frozen=True)
@@ -110,6 +114,8 @@ DEFAULT_SLOS: tuple[SLOSpec, ...] = (
     ),
     # The resilience headline: silent corruption never ships.
     SLOSpec(name="escaped-faults", kind="zero", objective=1.0),
+    # The overload headline: at most 1% of recent queries load-shed.
+    SLOSpec(name="shed-rate", kind="shed", objective=0.99),
 )
 
 
@@ -137,6 +143,7 @@ class SLOTracker:
         self._ok = SlidingCounter(window_s, clock=clock)
         self._fast = SlidingCounter(window_s, clock=clock)
         self._escaped = SlidingCounter(window_s, clock=clock)
+        self._shed = SlidingCounter(window_s, clock=clock)
         self._alerting: dict[str, bool] = {s.name: False for s in self.specs}
         # One latency bound serves every latency spec; multiple bounds
         # would need one counter per spec — keep the common case cheap.
@@ -153,9 +160,11 @@ class SLOTracker:
         ok: bool,
         latency_s: float,
         escaped: int = 0,
+        shed: bool = False,
         ts: float | None = None,
     ) -> None:
-        """One served query: success flag, latency, escaped-fault count."""
+        """One served query: success flag, latency, escaped-fault count,
+        and whether the service load-shed it instead of running it."""
         self._total.inc(ts=ts)
         if ok:
             self._ok.inc(ts=ts)
@@ -165,6 +174,8 @@ class SLOTracker:
                 break
         if escaped:
             self._escaped.inc(escaped, ts=ts)
+        if shed:
+            self._shed.inc(ts=ts)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -175,6 +186,8 @@ class SLOTracker:
             good = self._ok.total(now=now)
         elif spec.kind == "latency":
             good = self._fast.total(now=now)
+        elif spec.kind == "shed":
+            good = total - self._shed.total(now=now)
         else:  # zero
             bad = self._escaped.total(now=now)
             return (1.0 if bad == 0 else 0.0), (0.0 if bad else 1.0), bad

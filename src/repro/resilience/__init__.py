@@ -15,10 +15,22 @@ The robustness layer of the simulated GPU substrate:
   (rollback-and-retry → phase restart with forced checks → serial
   Kruskal fallback), configured by :class:`ResilienceConfig`;
 * :mod:`~repro.resilience.campaign` — chaos campaigns reporting
-  injected/detected/recovered/escaped counts (``repro-mst chaos``).
+  injected/detected/recovered/escaped counts (``repro-mst chaos``),
+  including the chaos-under-load *service* campaign;
+* :mod:`~repro.resilience.policy` — the overload-safe **serving**
+  policy (admission control/load shedding, budgeted retries with
+  decorrelated-jitter backoff, per-graph circuit breakers, poison-
+  query quarantine), attached to the service via
+  ``ServiceConfig.policy``.
 """
 
-from .campaign import CampaignReport, TrialOutcome, run_campaign
+from .campaign import (
+    CampaignReport,
+    ServiceCampaignReport,
+    TrialOutcome,
+    run_campaign,
+    run_service_campaign,
+)
 from .checkpoint import Checkpoint
 from .faults import (
     ATOMIC_FAULT_KINDS,
@@ -29,12 +41,23 @@ from .faults import (
     FaultPlan,
 )
 from .invariants import KERNEL_INVARIANTS, ROUND_INVARIANTS, InvariantChecker
+from .policy import (
+    AdmissionController,
+    CircuitBreaker,
+    PolicyConfig,
+    Quarantine,
+    ResiliencePolicy,
+    RetryPolicy,
+    TokenBucket,
+)
 from .recovery import ResilienceConfig, ResilienceStats, RoundGuard
 
 __all__ = [
     "ATOMIC_FAULT_KINDS",
+    "AdmissionController",
     "CampaignReport",
     "Checkpoint",
+    "CircuitBreaker",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
@@ -42,10 +65,17 @@ __all__ = [
     "InvariantChecker",
     "KERNEL_INVARIANTS",
     "LAUNCH_FAULT_KINDS",
+    "PolicyConfig",
+    "Quarantine",
     "ROUND_INVARIANTS",
     "ResilienceConfig",
+    "ResiliencePolicy",
     "ResilienceStats",
+    "RetryPolicy",
     "RoundGuard",
+    "ServiceCampaignReport",
+    "TokenBucket",
     "TrialOutcome",
     "run_campaign",
+    "run_service_campaign",
 ]

@@ -10,7 +10,8 @@ four classic operational endpoints:
   current burn state (:meth:`MSTService.status`).
 * ``/metrics``   — Prometheus text exposition (version 0.0.4) of the
   service's :class:`~repro.obs.metrics.MetricsRegistry`, plus per-SLO
-  ``repro_slo_*`` gauges.
+  ``repro_slo_*`` gauges and — with the serving policy armed —
+  per-graph ``repro_breaker_*`` gauges labeled by fingerprint.
 * ``/profilez``  — the most recent executed query's
   :class:`~repro.obs.profile.RunProfile` as JSON (requires
   ``ServiceConfig.keep_profile``; ``404`` until a query has executed).
@@ -96,6 +97,33 @@ def render_prometheus(service) -> str:
         lines.append(f"# HELP {prom} 1 while the SLO burn alert is firing")
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom}{label} {_sample_value(1.0 if d['alerting'] else 0.0)}")
+    policy = getattr(service, "policy", None)
+    if policy is not None:
+        snapshots = sorted(
+            policy.breaker_snapshots(), key=lambda b: b["graph"]
+        )
+        if snapshots:
+            open_name = sanitize_metric_name("breaker.open")
+            fail_name = sanitize_metric_name("breaker.failures")
+            lines.append(
+                f"# HELP {open_name} 1 while the graph's circuit breaker "
+                "is not closed"
+            )
+            lines.append(f"# TYPE {open_name} gauge")
+            for b in snapshots:
+                label = f'{{graph="{b["graph"]}",state="{b["state"]}"}}'
+                value = 0.0 if b["state"] == "closed" else 1.0
+                lines.append(f"{open_name}{label} {_sample_value(value)}")
+            lines.append(
+                f"# HELP {fail_name} consecutive failures seen by the "
+                "graph's circuit breaker"
+            )
+            lines.append(f"# TYPE {fail_name} gauge")
+            for b in snapshots:
+                label = f'{{graph="{b["graph"]}"}}'
+                lines.append(
+                    f"{fail_name}{label} {_sample_value(float(b['failures']))}"
+                )
     return "\n".join(lines) + "\n"
 
 

@@ -130,6 +130,12 @@ class BatchSummary:
     errors: int = 0
     timeouts: int = 0
     cache_hits: int = 0
+    # Serving-policy outcomes (all zero — and omitted from render —
+    # without a policy attached).
+    shed: int = 0
+    degraded: int = 0
+    quarantined: int = 0
+    cancelled: int = 0
     exit_code: int = 0
     wall_seconds: float = 0.0
     metrics: dict = field(default_factory=dict)
@@ -148,6 +154,10 @@ class BatchSummary:
             "ok": self.ok,
             "errors": self.errors,
             "timeouts": self.timeouts,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "quarantined": self.quarantined,
+            "cancelled": self.cancelled,
             "cache_hits": self.cache_hits,
             "cache_hit_ratio": self.cache_hit_ratio,
             "queries_per_second": self.qps,
@@ -164,6 +174,12 @@ class BatchSummary:
             f"  cache hits {self.cache_hits} "
             f"(ratio {self.cache_hit_ratio:.2f})",
         ]
+        if self.shed or self.degraded or self.quarantined or self.cancelled:
+            lines.append(
+                f"  shed {self.shed}  degraded {self.degraded}"
+                f"  quarantined {self.quarantined}"
+                f"  cancelled {self.cancelled}"
+            )
         for key in (
             "service.p50_latency",
             "service.p95_latency",
@@ -182,11 +198,18 @@ def summarize(
     *,
     wall_seconds: float,
 ) -> BatchSummary:
+    by_status = {s: sum(1 for o in outcomes if o.status == s) for s in
+                 ("error", "timeout", "shed", "degraded", "quarantined",
+                  "cancelled")}
     return BatchSummary(
         total=len(outcomes),
         ok=sum(1 for o in outcomes if o.ok),
-        errors=sum(1 for o in outcomes if o.status == "error"),
-        timeouts=sum(1 for o in outcomes if o.status == "timeout"),
+        errors=by_status["error"],
+        timeouts=by_status["timeout"],
+        shed=by_status["shed"],
+        degraded=by_status["degraded"],
+        quarantined=by_status["quarantined"],
+        cancelled=by_status["cancelled"],
         cache_hits=sum(1 for o in outcomes if o.cache_hit),
         exit_code=batch_exit_code(outcomes),
         wall_seconds=wall_seconds,

@@ -73,6 +73,20 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def keys(self) -> list:
+        """Current keys, LRU-first (a snapshot; no recency update)."""
+        with self._lock:
+            return list(self._data)
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without touching recency or hit/miss
+        counters — for advisory reads (e.g. staleness pruning) that
+        must not perturb eviction order or cache statistics."""
+        with self._lock:
+            if self.capacity <= 0:
+                return default
+            return self._data.get(key, default)
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {

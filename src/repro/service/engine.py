@@ -30,6 +30,25 @@ The service exports aggregate metrics into a
 ``service.cache_hit_ratio``, ``service.queue_depth``,
 ``service.p50_latency`` / ``service.p95_latency`` and the underlying
 counters — via :meth:`MSTService.metrics`.
+
+**Overload safety** (optional, zero-overhead when off): attaching a
+:class:`~repro.resilience.policy.PolicyConfig` via
+``ServiceConfig.policy`` arms the serving policy —
+
+* admission control sheds excess queries *before* they queue (typed
+  ``shed`` outcomes, lowest ``Query.priority`` first);
+* transient ``fault``/``timeout`` failures retry with decorrelated-
+  jitter backoff, budgeted per query and never past its deadline
+  (deadlines also propagate into the solver's round loop);
+* a per-graph-fingerprint circuit breaker fails fast while a graph
+  keeps failing, probing deterministically on a seeded cooldown;
+* shed/broken/exhausted queries optionally degrade to a stale cached
+  result (``served_by: stale-cache``) or the serial-Kruskal fallback
+  (``served_by: serial-fallback``), and poison specs are quarantined.
+
+With ``policy=None`` (the default) none of this code runs and serving
+behavior — results, counters, metrics — is bit-identical to a
+policy-free build.
 """
 
 from __future__ import annotations
@@ -40,22 +59,30 @@ import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from ..errors import Overloaded
 from ..obs.events import get_event_log
 from ..obs.metrics import MetricsRegistry
 from ..obs.slo import SLOTracker
 from ..obs.trace import Tracer
 from ..obs.window import SlidingCounter, SlidingHistogram
+from ..resilience.policy import PolicyConfig, ResiliencePolicy
 from .cache import LRUCache
 from .outcome import (
     SERVED_CACHE,
     SERVED_COALESCED,
     SERVED_EXECUTE,
+    SERVED_FALLBACK,
+    SERVED_STALE,
     QueryOutcome,
     edges_digest,
 )
 from .query import Query, QueryError, result_key
 
 __all__ = ["MSTService", "ServiceConfig", "Ticket", "execute_query"]
+
+# The degraded-mode algorithm: the paper's serial Kruskal reference,
+# already a registered baseline runner.
+_FALLBACK_CODE = "PBBS Ser."
 
 
 @dataclass(frozen=True)
@@ -73,6 +100,11 @@ class ServiceConfig:
     # retain their latest run profile (the admin /profilez payload).
     window_s: float = 60.0
     keep_profile: bool = False
+    # Overload-safe serving (None = off, bit-identical to a policy-free
+    # build) and an exact cost-model slowdown factor for chaos-under-
+    # load testing (GPUSpec.slowed, as the perf gate's CI job uses).
+    policy: PolicyConfig | None = None
+    slowdown: float = 1.0
 
     def __post_init__(self) -> None:
         if self.pool not in ("thread", "process"):
@@ -81,6 +113,17 @@ class ServiceConfig:
             raise ValueError("workers must be >= 1")
         if self.max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+        if (
+            self.policy is not None
+            and self.policy.enabled
+            and self.pool == "process"
+        ):
+            raise ValueError(
+                "serving policy requires pool='thread' (process workers "
+                "share no breaker/retry/quarantine state with the parent)"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -137,7 +180,13 @@ def _build_fault_plan(query: Query, config, graph, gpu):
 
 
 def execute_query(
-    query: Query, graph=None, *, tracer=None, profile_sink=None
+    query: Query,
+    graph=None,
+    *,
+    tracer=None,
+    profile_sink=None,
+    slowdown: float = 1.0,
+    deadline: float | None = None,
 ) -> QueryOutcome:
     """Run one query to completion and summarize it as an outcome.
 
@@ -147,6 +196,10 @@ def execute_query(
     when given, receives the finished run's
     :class:`~repro.obs.profile.RunProfile` as a plain dict (the admin
     server's ``/profilez`` payload) — it is only called on success.
+    ``slowdown`` uniformly slows the modeled hardware by that exact
+    factor (chaos-under-load testing); ``deadline`` is a
+    ``time.perf_counter`` timestamp propagated into the ECL-MST round
+    loop, past which the run aborts as a timeout outcome.
     """
     from ..obs.profile import graph_fingerprint
 
@@ -161,7 +214,9 @@ def execute_query(
             load_s = time.perf_counter() - t0
             t1 = time.perf_counter()
             with tracer.span("run", kind="host", code=query.code):
-                result = _run_code(query, graph, tracer)
+                result = _run_code(
+                    query, graph, tracer, slowdown=slowdown, deadline=deadline
+                )
             run_s = time.perf_counter() - t1
     except BaseException as exc:  # typed failures -> error outcome
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -203,11 +258,19 @@ def execute_query(
     )
 
 
-def _run_code(query: Query, graph, tracer):
+def _run_code(
+    query: Query, graph, tracer, *, slowdown: float = 1.0, deadline=None
+):
     from ..baselines.registry import get_runner
     from ..bench.harness import SYSTEM1, SYSTEM2
 
     system = SYSTEM1 if query.system == 1 else SYSTEM2
+    if slowdown != 1.0:
+        system = replace(
+            system,
+            gpu=system.gpu.slowed(slowdown),
+            cpu=system.cpu.slowed(slowdown),
+        )
     if query.code == "ECL-MST":
         from ..core.eclmst import ecl_mst
 
@@ -234,6 +297,7 @@ def _run_code(query: Query, graph, tracer):
             resilience=resilience,
             fault_plan=fault_plan,
             events=events,
+            deadline=deadline,
         )
     try:
         runner = get_runner(query.code)
@@ -252,14 +316,16 @@ def _run_code(query: Query, graph, tracer):
     return result
 
 
-def _process_job(query_dict: dict) -> dict:
+def _process_job(query_dict: dict, slowdown: float = 1.0) -> dict:
     """Process-pool entry point: parse, execute, return a plain dict.
 
     Runs in a worker process with no shared caches — the parent still
-    dedups in flight and caches the returned outcome.
+    dedups in flight and caches the returned outcome.  (The serving
+    policy is thread-pool-only; only the slowdown knob crosses the
+    process boundary.)
     """
     query = Query.from_dict(query_dict)
-    return execute_query(query).to_dict()
+    return execute_query(query, slowdown=slowdown).to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -296,9 +362,10 @@ class Ticket:
         except concurrent.futures.TimeoutError:
             return self.service._on_timeout(self, timeout)
         except concurrent.futures.CancelledError:
-            return self.service._timeout_outcome(
-                self, timeout, "cancelled while queued"
-            )
+            # The executor cancelled it before it ran (service
+            # shutdown): a typed "cancelled" outcome, not a timeout —
+            # the client never got a chance, not a slow answer.
+            return self.service._cancelled_outcome(self)
         if isinstance(raw, dict):  # process pool returns plain dicts
             raw = QueryOutcome.from_dict(raw)
         return self.service._personalize(self, raw)
@@ -333,7 +400,22 @@ class MSTService:
         self.started_at = time.time()
         self.latest_profile: dict | None = None
         self._lock = threading.Lock()
+        self._closed = False
         self._inflight: dict[str, concurrent.futures.Future] = {}
+        # Serving policy: constructed only when any mechanism is armed,
+        # so a policy-free service runs exactly the pre-policy code.
+        self.policy: ResiliencePolicy | None = None
+        if self.config.policy is not None and self.config.policy.enabled:
+            self.policy = ResiliencePolicy(
+                self.config.policy,
+                max_queue_depth=self.config.max_queue_depth,
+                registry=self.registry,
+                events=self.events,
+                window_s=self.config.window_s,
+            )
+        # When each result-cache entry was stored (staleness metadata
+        # for degraded serving); maintained only with the policy on.
+        self._cached_at: dict[str, float] = {}
         # Learned spec-key -> result-key mapping: lets the submit path
         # answer repeat queries from the result cache without loading
         # the graph (and gives process mode result-cache semantics,
@@ -359,9 +441,19 @@ class MSTService:
     # Submission
     # ------------------------------------------------------------------
     def submit(self, query: Query) -> Ticket:
-        """Enqueue one query; blocks while the queue is at capacity."""
+        """Enqueue one query; blocks while the queue is at capacity.
+
+        With the serving policy armed, a query may instead resolve
+        immediately: quarantined specs, admission-shed queries, and
+        breaker-broken graphs get typed outcomes (optionally degraded
+        to a stale cached answer) without touching the queue.
+        """
         now = time.perf_counter()
         self.registry.counter("service.queries").inc()
+        if self._closed:
+            return self._resolved_ticket(
+                query, self._shutdown_outcome(query), now
+            )
         if self.events.enabled:
             self.events.emit(
                 "service.enqueue",
@@ -388,7 +480,7 @@ class MSTService:
             rkey = self._spec_to_rkey.get(key) if key is not None else None
         if rkey is not None:
             cached = self.results.get(rkey)
-            if cached is not None:
+            if cached is not None and self._is_fresh(rkey):
                 self.registry.counter("service.result_cache_hits").inc()
                 if self.events.enabled:
                     self.events.emit(
@@ -397,9 +489,13 @@ class MSTService:
                         query=query.id,
                         path="submit",
                     )
-                done: concurrent.futures.Future = concurrent.futures.Future()
-                done.set_result(replace(cached, served_by=SERVED_CACHE))
-                return Ticket(query, done, now, True, self)
+                return self._resolved_ticket(
+                    query, replace(cached, served_by=SERVED_CACHE), now
+                )
+        if self.policy is not None:
+            gated = self._policy_gate(query, key, rkey, now)
+            if gated is not None:
+                return gated
         self._slots.acquire()
         deadline = None
         timeout = (
@@ -409,11 +505,21 @@ class MSTService:
         )
         if timeout is not None:
             deadline = now + timeout
-        if self.config.pool == "process":
-            self.registry.counter("service.executed").inc()
-            future = self._executor.submit(_process_job, query.to_dict())
-        else:
-            future = self._executor.submit(self._thread_job, query, deadline)
+        try:
+            if self.config.pool == "process":
+                self.registry.counter("service.executed").inc()
+                future = self._executor.submit(
+                    _process_job, query.to_dict(), self.config.slowdown
+                )
+            else:
+                future = self._executor.submit(self._thread_job, query, deadline)
+        except RuntimeError:
+            # Raced with close(): the executor refused the job after we
+            # took a slot.  Give the slot back and resolve typed.
+            self._slots.release()
+            return self._resolved_ticket(
+                query, self._shutdown_outcome(query), now
+            )
         with self._lock:
             self._depth += 1
             self.registry.gauge("service.queue_depth").set(self._depth)
@@ -433,6 +539,160 @@ class MSTService:
             if key is not None:
                 self._inflight.pop(key, None)
         self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Serving policy (submit side)
+    # ------------------------------------------------------------------
+    def _resolved_ticket(
+        self, query: Query, outcome: QueryOutcome, now: float
+    ) -> Ticket:
+        """A ticket already carrying its outcome (shed/cached/refused)."""
+        done: concurrent.futures.Future = concurrent.futures.Future()
+        done.set_result(outcome)
+        return Ticket(query, done, now, True, self)
+
+    def _shutdown_outcome(self, query: Query) -> QueryOutcome:
+        return QueryOutcome.failure(
+            query,
+            Overloaded("service is shut down", reason="shutdown"),
+            status="cancelled",
+        )
+
+    def _policy_gate(
+        self, query: Query, key: str | None, rkey: str | None, now: float
+    ) -> Ticket | None:
+        """Admission + quarantine + learned-fingerprint breaker checks.
+
+        Returns a resolved ticket when the query must not queue, or
+        ``None`` to proceed.  Runs *after* the dedup/result-cache fast
+        paths: answering from memory is nearly free, so overload
+        protection only guards execution capacity.
+        """
+        pol = self.policy
+        assert pol is not None
+        if pol.cfg.quarantine_on and key is not None:
+            entry = pol.quarantine.check(key)
+            if entry is not None:
+                pol.note_quarantined()
+                if self.events.enabled:
+                    self.events.emit(
+                        "policy.refused",
+                        level="warning",
+                        query=query.id,
+                        reason="quarantine",
+                        failures=entry["failures"],
+                    )
+                out = QueryOutcome.failure(
+                    query,
+                    Overloaded(
+                        f"query spec quarantined after {entry['failures']} "
+                        "consecutive failures",
+                        reason="quarantine",
+                    ),
+                    status="quarantined",
+                )
+                out.policy = {"reason": "quarantine", **entry}
+                return self._resolved_ticket(query, out, now)
+        with self._lock:
+            depth = self._depth
+        decision = pol.admit(priority=query.priority, queue_depth=depth)
+        if not decision.admitted:
+            return self._shed_ticket(query, rkey, now, decision.reason)
+        if rkey is not None and pol.breaker_rejects_fast(
+            rkey.split(":", 1)[0]
+        ):
+            pol.note_shed()
+            return self._shed_ticket(query, rkey, now, "breaker-open")
+        return None
+
+    def _shed_ticket(
+        self, query: Query, rkey: str | None, now: float, reason: str
+    ) -> Ticket:
+        """Resolve a shed query: degraded stale answer if allowed and
+        available, else a typed ``shed`` outcome (exit code 6)."""
+        stale = self._stale_outcome(query, rkey, cause=reason)
+        if stale is not None:
+            return self._resolved_ticket(query, stale, now)
+        if self.events.enabled:
+            self.events.emit(
+                "policy.shed",
+                level="warning",
+                query=query.id,
+                reason=reason,
+                priority=query.priority,
+            )
+        out = QueryOutcome.failure(
+            query,
+            Overloaded(f"query shed ({reason})", reason=reason),
+            status="shed",
+        )
+        out.policy = {"reason": reason, "priority": query.priority}
+        return self._resolved_ticket(query, out, now)
+
+    # ------------------------------------------------------------------
+    # Staleness bookkeeping (policy only; no-ops when off)
+    # ------------------------------------------------------------------
+    def _cache_result(self, rkey: str, outcome: QueryOutcome) -> None:
+        self.results.put(rkey, outcome)
+        if self.policy is None:
+            return
+        with self._lock:
+            self._cached_at[rkey] = time.monotonic()
+            # Prune timestamps for evicted entries once the side table
+            # outgrows the cache — O(capacity) amortized, rare.
+            if len(self._cached_at) > 2 * max(8, self.config.result_cache_size):
+                live = set(self.results.keys())
+                for k in [k for k in self._cached_at if k not in live]:
+                    del self._cached_at[k]
+
+    def _age_of(self, rkey: str) -> float | None:
+        at = self._cached_at.get(rkey)
+        return None if at is None else max(0.0, time.monotonic() - at)
+
+    def _is_fresh(self, rkey: str) -> bool:
+        """Whether a cached result may serve as a normal cache hit.
+
+        Always true without the policy (entries never expire, the
+        pre-policy behavior).  With ``fresh_ttl_s`` armed, older
+        entries stop short-circuiting execution — they remain eligible
+        only for *degraded* stale serving under duress.
+        """
+        pol = self.policy
+        if pol is None or pol.cfg.fresh_ttl_s <= 0:
+            return True
+        age = self._age_of(rkey)
+        return age is None or age <= pol.cfg.fresh_ttl_s
+
+    def _stale_outcome(
+        self, query: Query, rkey: str | None, *, cause: str
+    ) -> QueryOutcome | None:
+        """A degraded answer from the result cache, if policy allows."""
+        pol = self.policy
+        if pol is None or not pol.cfg.serve_stale or rkey is None:
+            return None
+        cached = self.results.peek(rkey)
+        if cached is None:
+            return None
+        age = self._age_of(rkey) or 0.0
+        if age > pol.cfg.stale_max_age_s:
+            return None
+        pol.note_degraded()
+        if self.events.enabled:
+            self.events.emit(
+                "policy.degraded",
+                level="warning",
+                query=query.id,
+                mode="stale-cache",
+                cause=cause,
+                staleness_s=round(age, 3),
+            )
+        out = replace(cached, status="degraded", served_by=SERVED_STALE)
+        out.policy = {
+            "degraded": "stale-cache",
+            "cause": cause,
+            "staleness_s": round(age, 3),
+        }
+        return out
 
     # ------------------------------------------------------------------
     # Worker side (thread pool)
@@ -462,9 +722,10 @@ class MSTService:
             return QueryOutcome.failure(query, exc)
         from ..obs.profile import graph_fingerprint
 
-        rkey = result_key(graph_fingerprint(graph)["digest"], query)
+        digest = graph_fingerprint(graph)["digest"]
+        rkey = result_key(digest, query)
         cached = self.results.get(rkey)
-        if cached is not None:
+        if cached is not None and self._is_fresh(rkey):
             self.registry.counter("service.result_cache_hits").inc()
             if self.events.enabled:
                 self.events.emit(
@@ -474,6 +735,34 @@ class MSTService:
                     path="worker",
                 )
             return replace(cached, served_by=SERVED_CACHE)
+        pol = self.policy
+        if pol is not None and not pol.breaker_allows(digest):
+            # Open breaker (authoritative, post-graph-load): fail fast
+            # or degrade; never burn an execution on a broken graph.
+            degraded = self._degraded_answer(
+                query, graph, rkey, tracer, cause="breaker-open"
+            )
+            if degraded is not None:
+                return degraded
+            pol.note_shed()
+            if self.events.enabled:
+                self.events.emit(
+                    "policy.shed",
+                    level="warning",
+                    query=query.id,
+                    reason="breaker-open",
+                    priority=query.priority,
+                )
+            out = QueryOutcome.failure(
+                query,
+                Overloaded(
+                    "circuit breaker open for this graph",
+                    reason="breaker-open",
+                ),
+                status="shed",
+            )
+            out.policy = {"reason": "breaker-open", "graph": digest}
+            return out
         self.registry.counter("service.executed").inc()
         if self.events.enabled:
             self.events.emit(
@@ -483,14 +772,22 @@ class MSTService:
                 input=query.input,
                 code=query.code,
             )
-        outcome = execute_query(
-            query,
-            graph,
-            tracer=tracer,
-            profile_sink=self._store_profile if self.config.keep_profile else None,
+        outcome = self._execute_with_retries(
+            query, graph, tracer, deadline, rkey
         )
+        if pol is not None:
+            pol.breaker_record(digest, ok=outcome.ok)
+            if pol.cfg.quarantine_on:
+                try:
+                    skey = query.spec_key()
+                except QueryError:  # pragma: no cover - unresolvable spec
+                    skey = None
+                if skey is not None and pol.quarantine.record(
+                    skey, ok=outcome.ok, error_kind=outcome.error_kind
+                ):
+                    pol.note_quarantined()
         if outcome.ok:
-            self.results.put(rkey, outcome)
+            self._cache_result(rkey, outcome)
         else:
             self.registry.counter("service.errors").inc()
             if self.events.enabled:
@@ -500,7 +797,167 @@ class MSTService:
                     query=query.id,
                     error=outcome.error or "?",
                 )
+            if pol is not None and outcome.error_kind in ("fault", "timeout"):
+                degraded = self._degraded_answer(
+                    query,
+                    graph,
+                    rkey,
+                    tracer,
+                    cause=f"retries-exhausted:{outcome.error_kind}",
+                )
+                if degraded is not None:
+                    degraded.policy.setdefault(
+                        "original_error", outcome.error_kind
+                    )
+                    return degraded
         return outcome
+
+    def _execute_with_retries(
+        self,
+        query: Query,
+        graph,
+        tracer,
+        deadline: float | None,
+        rkey: str,
+    ) -> QueryOutcome:
+        """Execute, retrying transient failures under the policy budget.
+
+        Backoff follows the per-query seeded decorrelated-jitter
+        schedule; a retry is only attempted for ``fault``/``timeout``
+        outcomes, within the budget, and never past the deadline.
+        Chaos queries (seeded fault injection) re-run with an
+        attempt-salted fault seed so the injected fault actually moves
+        — exactly as a real transient would — while the *result*
+        stays keyed (and cached) under the original spec.
+        """
+        sink = self._store_profile if self.config.keep_profile else None
+        outcome = execute_query(
+            query,
+            graph,
+            tracer=tracer,
+            profile_sink=sink,
+            slowdown=self.config.slowdown,
+            deadline=deadline,
+        )
+        pol = self.policy
+        if pol is None or not pol.cfg.retries_on:
+            return outcome
+        retry = pol.retry_for(rkey)
+        attempt = 0
+        while not outcome.ok:
+            delay = retry.next_delay()
+            if not retry.should_retry(
+                error_kind=outcome.error_kind,
+                delay=delay,
+                now=time.perf_counter(),
+                deadline=deadline,
+            ):
+                break
+            retry.note_attempt(delay)
+            pol.note_retry()
+            if self.events.enabled:
+                self.events.emit(
+                    "policy.retry",
+                    level="warning",
+                    query=query.id,
+                    attempt=retry.attempts_used,
+                    delay_s=round(delay, 6),
+                    error_kind=outcome.error_kind,
+                )
+            pol.sleep(delay)
+            attempt += 1
+            attempt_query = query
+            if query.n_faults > 0:
+                attempt_query = replace(
+                    query,
+                    fault_seed=(query.fault_seed or 0) + 1_000_003 * attempt,
+                )
+            outcome = execute_query(
+                attempt_query,
+                graph,
+                tracer=Tracer(),
+                profile_sink=sink,
+                slowdown=self.config.slowdown,
+                deadline=deadline,
+            )
+        if retry.attempts_used:
+            if outcome.ok:
+                # Re-key a salted chaos retry back to the original spec
+                # so caching/dedup see one query, not per-attempt ones.
+                outcome = replace(outcome, result_key=rkey)
+            outcome.policy = {
+                **outcome.policy,
+                "retries": retry.attempts_used,
+                "backoff_s": round(sum(retry.delays), 6),
+            }
+        return outcome
+
+    def _degraded_answer(
+        self, query: Query, graph, rkey: str, tracer, *, cause: str
+    ) -> QueryOutcome | None:
+        """Stale cached answer, else serial fallback, else ``None``.
+
+        The serial fallback runs at reduced priority: it re-enters the
+        admission bucket with the lowest-priority reserve, so degraded
+        work never crowds out admitted traffic.
+        """
+        pol = self.policy
+        if pol is None:
+            return None
+        stale = self._stale_outcome(query, rkey, cause=cause)
+        if stale is not None:
+            return stale
+        if pol.cfg.degrade_serial and pol.allow_fallback():
+            return self._serial_fallback(query, graph, tracer, cause)
+        return None
+
+    def _serial_fallback(
+        self, query: Query, graph, tracer, cause: str
+    ) -> QueryOutcome | None:
+        """Answer with the serial-Kruskal baseline, marked degraded."""
+        fallback_query = replace(
+            query,
+            code=_FALLBACK_CODE,
+            stage=None,
+            config={},
+            check_cadence=0,
+            fault_seed=None,
+            n_faults=0,
+            fault_kinds=(),
+        )
+        fb = execute_query(
+            fallback_query,
+            graph,
+            tracer=tracer,
+            slowdown=self.config.slowdown,
+        )
+        if not fb.ok:
+            return None
+        pol = self.policy
+        assert pol is not None
+        pol.note_degraded()
+        if self.events.enabled:
+            self.events.emit(
+                "policy.degraded",
+                level="warning",
+                query=query.id,
+                mode="serial-fallback",
+                cause=cause,
+            )
+        out = replace(
+            fb,
+            id=query.id,
+            code=query.code,
+            status="degraded",
+            served_by=SERVED_FALLBACK,
+            result_key="",  # never cached as the real answer
+        )
+        out.policy = {
+            "degraded": "serial-fallback",
+            "cause": cause,
+            "algorithm": fb.algorithm,
+        }
+        return out
 
     def _store_profile(self, profile: dict) -> None:
         """Retain the most recent executed query's run profile (the
@@ -530,7 +987,7 @@ class MSTService:
             if raw.served_by == SERVED_EXECUTE:
                 # Idempotent for thread workers; in process mode this is
                 # where the parent's result cache learns the outcome.
-                self.results.put(raw.result_key, raw)
+                self._cache_result(raw.result_key, raw)
             with self._lock:
                 try:
                     self._spec_to_rkey[ticket.query.spec_key()] = raw.result_key
@@ -546,14 +1003,25 @@ class MSTService:
         return out
 
     def _observe_done(self, out: QueryOutcome, latency: float) -> None:
-        """Feed one finished waiter into the sliding windows and SLOs."""
+        """Feed one finished waiter into the sliding windows and SLOs.
+
+        Availability counts *served* outcomes — a degraded answer is
+        still an answer — while shed queries feed the shed-rate SLO.
+        Without the policy, served == ok and shed never happens, so
+        the accounting is unchanged.
+        """
         self._lat_window.observe(latency)
         self._done_window.inc()
         escaped = 0
         res = out.resilience
         if isinstance(res, dict):
             escaped = int(res.get("escaped", 0) or 0)
-        self.slo.record(ok=out.ok, latency_s=latency, escaped=escaped)
+        self.slo.record(
+            ok=out.served,
+            latency_s=latency,
+            escaped=escaped,
+            shed=out.status == "shed",
+        )
 
     def _timeout_outcome(
         self, ticket: Ticket, timeout: float | None, why: str
@@ -580,15 +1048,58 @@ class MSTService:
 
     def _on_timeout(self, ticket: Ticket, timeout: float | None) -> QueryOutcome:
         if ticket.future.cancel():
-            # Still queued: cancelled cleanly, never executed.
+            # Still queued: cancelled cleanly, never executed.  (The
+            # done callback fires on cancel and releases the dedup key
+            # and slot.)
             return self._timeout_outcome(
                 ticket, timeout, "cancelled while queued"
             )
         # Already running: the computation finishes in the background
         # (and may still warm the cache); this waiter stops waiting.
+        # Drop the dedup key NOW — if the execution is wedged, later
+        # identical queries must not coalesce onto a dead ticket and
+        # inherit its fate (slot/depth accounting stays with the done
+        # callback, which fires if the execution ever finishes).
+        self._drop_inflight(ticket)
         return self._timeout_outcome(
             ticket, timeout, "timed out while executing"
         )
+
+    def _drop_inflight(self, ticket: Ticket) -> None:
+        """Release a ticket's dedup key without touching slot/depth
+        accounting (compare-and-pop: only if the map still points at
+        this ticket's future)."""
+        try:
+            key = ticket.query.spec_key()
+        except QueryError:  # pragma: no cover - unresolvable spec
+            return
+        with self._lock:
+            if self._inflight.get(key) is ticket.future:
+                del self._inflight[key]
+
+    def _cancelled_outcome(self, ticket: Ticket) -> QueryOutcome:
+        """Typed outcome for a query cancelled before execution (the
+        executor dropped it at shutdown)."""
+        latency = time.perf_counter() - ticket.submitted_at
+        self.registry.counter("service.cancelled").inc()
+        self.registry.histogram("service.latency").observe(latency)
+        if self.events.enabled:
+            self.events.emit(
+                "service.cancelled",
+                level="warning",
+                query=ticket.query.id,
+            )
+        out = QueryOutcome.failure(
+            ticket.query,
+            Overloaded(
+                "cancelled before execution (service shutdown)",
+                reason="shutdown",
+            ),
+            status="cancelled",
+            latency_s=latency,
+        )
+        self._observe_done(out, latency)
+        return out
 
     # ------------------------------------------------------------------
     # Batch interface
@@ -638,6 +1149,8 @@ class MSTService:
         }
         out["service.graph_cache_size"] = float(len(self.graphs))
         out["service.result_cache_size"] = float(len(self.results))
+        if self.policy is not None:
+            out.update(self.policy.windowed_metrics())
         return out
 
     def slo_statuses(self):
@@ -673,12 +1186,24 @@ class MSTService:
                 "latency": self._lat_window.summary(),
             },
             "slos": [s.to_dict() for s in self.slo_statuses()],
+            "policy": (
+                {"enabled": True, **self.policy.status()}
+                if self.policy is not None
+                else {"enabled": False}
+            ),
         }
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, *, wait: bool = True) -> None:
+        """Shut the pool down.
+
+        ``wait=False`` cancels still-queued work: those tickets (and
+        any later :meth:`submit`) resolve to typed ``cancelled``
+        outcomes instead of hanging or raising.
+        """
+        self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "MSTService":

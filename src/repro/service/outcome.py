@@ -5,8 +5,18 @@ emits as one NDJSON line: either a success (MST weight / edge-set
 digest / counters-derived metrics — enough to prove bit-identity
 between cold and warm runs) or a typed failure that maps onto the
 CLI's uniform exit codes (3 input / 4 verify / 5 unrecovered fault /
-1 generic).  A failure never carries a partial result and never
-escapes as an exception: one bad query must not poison its batch.
+6 overloaded / 1 generic).  A failure never carries a partial result
+and never escapes as an exception: one bad query must not poison its
+batch.
+
+With the serving policy on (PR 7), four more statuses appear:
+``shed`` (admission control or an open breaker rejected it before it
+ran — exit code 6), ``degraded`` (answered, but via a stale cached
+result or the serial fallback; carries the full success payload plus
+``policy`` metadata saying how), ``quarantined`` (a poison spec
+refused before the retry loop), and ``cancelled`` (still queued when
+the service shut down).  ``degraded`` counts as *served* for
+availability accounting; the rest count against it.
 """
 
 from __future__ import annotations
@@ -19,11 +29,14 @@ from dataclasses import dataclass, field
 from ..baselines.errors import NotConnectedError
 from ..errors import (
     EXIT_INPUT_ERROR,
+    EXIT_OVERLOADED,
     EXIT_UNRECOVERED_FAULT,
     EXIT_VERIFY_FAILED,
+    DeadlineExceeded,
     DeviceFault,
     GraphFormatError,
     InvariantViolation,
+    Overloaded,
     ReproError,
     UnrecoveredFaultError,
     VerificationError,
@@ -38,11 +51,17 @@ __all__ = [
 
 SCHEMA = "repro.service.outcome/v1"
 
-# How an outcome was served: a real execution, the result cache, or by
-# attaching to an identical in-flight execution.
+# How an outcome was served: a real execution, the result cache, by
+# attaching to an identical in-flight execution, or (degraded only) a
+# stale cache entry / the serial-Kruskal fallback.
 SERVED_EXECUTE = "execute"
 SERVED_CACHE = "result-cache"
 SERVED_COALESCED = "coalesced"
+SERVED_STALE = "stale-cache"
+SERVED_FALLBACK = "serial-fallback"
+
+# Statuses that carry the full success payload in to_dict().
+_PAYLOAD_STATUSES = ("ok", "degraded")
 
 
 def classify_error(exc: BaseException) -> tuple[str, int]:
@@ -57,6 +76,10 @@ def classify_error(exc: BaseException) -> tuple[str, int]:
         return "verify", EXIT_VERIFY_FAILED
     if isinstance(exc, (DeviceFault, InvariantViolation, UnrecoveredFaultError)):
         return "fault", EXIT_UNRECOVERED_FAULT
+    if isinstance(exc, Overloaded):
+        return "overloaded", EXIT_OVERLOADED
+    if isinstance(exc, DeadlineExceeded):
+        return "timeout", 1
     if isinstance(exc, NotConnectedError):
         return "not-connected", 1
     if isinstance(exc, ReproError):
@@ -85,7 +108,9 @@ class QueryOutcome:
     code: str = "ECL-MST"
     system: int = 2
     scale: float = 0.0
-    status: str = "ok"  # "ok" | "error" | "timeout"
+    # "ok" | "error" | "timeout" | "shed" | "degraded" | "quarantined"
+    # | "cancelled"
+    status: str = "ok"
     served_by: str = SERVED_EXECUTE
     error_kind: str = ""
     error: str = ""
@@ -100,6 +125,8 @@ class QueryOutcome:
     mst_digest: str = ""
     metrics: dict = field(default_factory=dict)
     resilience: dict = field(default_factory=dict)
+    # Serving-policy metadata (retries used, staleness, shed reason…).
+    policy: dict = field(default_factory=dict)
     # Service accounting (never part of identity comparisons).
     result_key: str = ""
     load_seconds: float = 0.0
@@ -109,6 +136,15 @@ class QueryOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def served(self) -> bool:
+        """The client got an answer (full-fidelity or degraded).
+
+        This is what the availability SLO counts: a degraded answer is
+        still an answer; shed/quarantined/cancelled/error are not.
+        """
+        return self.status in _PAYLOAD_STATUSES
 
     @property
     def cache_hit(self) -> bool:
@@ -144,6 +180,12 @@ class QueryOutcome:
         kind, code = classify_error(exc)
         if status == "timeout":
             kind, code = "timeout", 1
+        elif status == "cancelled":
+            kind, code = "cancelled", 1
+        elif status == "shed":
+            kind, code = "overloaded", EXIT_OVERLOADED
+        elif status == "quarantined":
+            kind, code = "quarantined", EXIT_OVERLOADED
         return cls(
             id=getattr(query, "id", "?") or "?",
             input=getattr(query, "input", ""),
@@ -164,8 +206,11 @@ class QueryOutcome:
         d = dataclasses.asdict(self)
         d["schema"] = SCHEMA
         d["cache_hit"] = self.cache_hit
-        if self.ok:
-            d.pop("error_kind"), d.pop("error")
+        if self.status in _PAYLOAD_STATUSES:
+            if self.ok:
+                d.pop("error_kind"), d.pop("error")
+            elif not self.error:
+                d.pop("error_kind"), d.pop("error")
         else:
             for k in (
                 "algorithm",
@@ -181,6 +226,8 @@ class QueryOutcome:
                 d.pop(k)
         if not self.resilience:
             d.pop("resilience", None)
+        if not self.policy:
+            d.pop("policy", None)
         return d
 
     def to_json_line(self) -> str:
@@ -195,5 +242,7 @@ class QueryOutcome:
 def batch_exit_code(outcomes) -> int:
     """The uniform batch exit code: 0 when every query succeeded, else
     the *highest* per-query code so the most severe failure family wins
-    (5 unrecovered > 4 verify > 3 input > 1 generic/timeout)."""
+    (6 overloaded > 5 unrecovered > 4 verify > 3 input > 1
+    generic/timeout).  Degraded answers carry code 0 — the client was
+    served."""
     return max((o.exit_code for o in outcomes), default=0)

@@ -16,9 +16,9 @@ keys:
   key (:func:`result_key`), so two specs that resolve to the same
   weighted graph share cached results.
 
-Labels (``id``) and scheduling knobs (``timeout_s``) are deliberately
-excluded from both keys — they change how a query is served, never
-what it computes.
+Labels (``id``) and scheduling knobs (``timeout_s``, ``priority``) are
+deliberately excluded from both keys — they change how a query is
+served, never what it computes.
 """
 
 from __future__ import annotations
@@ -54,6 +54,7 @@ _FIELDS = {
     "stage",
     "config",
     "timeout_s",
+    "priority",
     "verify",
     "check_cadence",
     "fault_seed",
@@ -75,6 +76,7 @@ class Query:
     stage: str | None = None  # Table-5 de-optimization stage name
     config: dict = field(default_factory=dict)  # EclMstConfig overrides
     timeout_s: float | None = None
+    priority: int = 0  # 0 low / 1 normal / >=2 high; sheds lowest first
     verify: bool = False
     check_cadence: int = 0  # resilience sweeps; 0 = unguarded
     fault_seed: int | None = None  # seeded fault injection (chaos query)
@@ -98,6 +100,11 @@ class Query:
             raise QueryError(
                 f"query {self.id}: timeout_s must be positive, "
                 f"got {self.timeout_s!r}"
+            )
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise QueryError(
+                f"query {self.id}: priority must be an int, "
+                f"got {self.priority!r}"
             )
         if self.n_faults < 0:
             raise QueryError(

@@ -49,9 +49,9 @@ class TestSLOSpec:
         with pytest.raises(ValueError):
             SLOSpec(name="x", kind="latency", objective=0.9)
 
-    def test_defaults_cover_the_three_promises(self):
+    def test_defaults_cover_the_four_promises(self):
         kinds = {s.kind for s in DEFAULT_SLOS}
-        assert kinds == {"availability", "latency", "zero"}
+        assert kinds == {"availability", "latency", "zero", "shed"}
 
 
 # ---------------------------------------------------------------------------

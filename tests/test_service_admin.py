@@ -225,7 +225,9 @@ class TestEndpoints:
             "availability",
             "latency-1s",
             "escaped-faults",
+            "shed-rate",
         }
+        assert doc["policy"] == {"enabled": False}
 
     def test_metrics_endpoint(self, live):
         _, admin = live
