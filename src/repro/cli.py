@@ -438,8 +438,14 @@ def _policy_from_args(args):
 
 
 def _service_from_args(args):
+    from .obs.recorder import RecorderConfig
     from .service import MSTService, ServiceConfig
 
+    recorder = None
+    if not getattr(args, "no_recorder", False):
+        recorder = RecorderConfig(
+            dir=getattr(args, "postmortem_dir", "postmortems")
+        )
     return MSTService(
         ServiceConfig(
             workers=args.workers,
@@ -452,6 +458,7 @@ def _service_from_args(args):
             keep_profile=getattr(args, "admin_port", None) is not None,
             policy=_policy_from_args(args),
             slowdown=getattr(args, "slowdown", 1.0),
+            recorder=recorder,
         )
     )
 
@@ -480,7 +487,16 @@ def _cmd_serve(args) -> int:
             admin = AdminServer(service, port=args.admin_port).start()
             print(f"admin endpoints at {admin.url}", file=sys.stderr)
         try:
-            outcomes = run_batch_lines(lines, service)
+            try:
+                outcomes = run_batch_lines(lines, service)
+            except BaseException as exc:
+                # Last words: an unhandled exception in the serve path
+                # still leaves a postmortem bundle behind.
+                if not isinstance(exc, KeyboardInterrupt) and (
+                    service.recorder is not None
+                ):
+                    service.recorder.capture_crash(exc, service=service)
+                raise
             summary = summarize(
                 outcomes, service, wall_seconds=time.perf_counter() - t0
             )
@@ -608,13 +624,70 @@ def _cmd_dashboard(args) -> int:
 
         result, tracer = _traced_run(args)
         profile = RunProfile.from_result(result, tracer=tracer).to_dict()
+    from .obs.recorder import recent_bundles
+
     html = render_dashboard(
-        profile, trajectory=args.trajectory, title=args.title
+        profile,
+        trajectory=args.trajectory,
+        title=args.title,
+        incidents=recent_bundles(args.postmortems),
     )
     out = Path(args.out or "dashboard.html")
     out.write_text(html)
     print(f"dashboard written to {out}")
     return 0
+
+
+def _cmd_postmortem(args) -> int:
+    import json as _json
+
+    from .obs.recorder import (
+        bundle_summary,
+        load_bundle,
+        recent_bundles,
+        render_postmortem,
+    )
+
+    target = Path(args.bundle)
+    if target.is_dir():
+        # Incident listing mode: summarize every bundle in the dir.
+        rows = recent_bundles(target, limit=args.limit)
+        if args.json:
+            print(_json.dumps(rows, indent=2, sort_keys=True))
+        elif not rows:
+            print(f"no postmortem bundles in {target}")
+        else:
+            for r in rows:
+                print(
+                    f"{r['captured_at']}  {r['reason']:18s} "
+                    f"query={r['query'] or '-':12s} "
+                    f"exit={r['exit_code']}  {r['path']}"
+                )
+        return 0
+    bundle = load_bundle(target)
+    if args.json:
+        print(
+            _json.dumps(
+                bundle_summary(bundle, target), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(render_postmortem(bundle, events_tail=args.events))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    import json as _json
+
+    from .obs.recorder import load_bundle, replay_bundle
+
+    bundle = load_bundle(args.bundle)
+    report = replay_bundle(bundle, bundle_path=args.bundle)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def _add_log_flags(parser: argparse.ArgumentParser, *, trailing: bool = False) -> None:
@@ -808,9 +881,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_dash.add_argument("--title", help="page title override")
     p_dash.add_argument(
+        "--postmortems",
+        default="postmortems",
+        help="postmortem bundle directory for the incidents panel",
+    )
+    p_dash.add_argument(
         "--out", "-o", help="output HTML path (default dashboard.html)"
     )
     p_dash.set_defaults(fn=_cmd_dashboard)
+
+    p_pm = sub.add_parser(
+        "postmortem",
+        help="render a postmortem bundle as an incident report "
+        "(or list a bundle directory)",
+    )
+    p_pm.add_argument(
+        "bundle",
+        help="a PM_*.bundle file, or a directory of them to list",
+    )
+    p_pm.add_argument(
+        "--events",
+        type=int,
+        default=30,
+        help="event-timeline tail length in the report",
+    )
+    p_pm.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="max bundles shown in directory-listing mode",
+    )
+    p_pm.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    p_pm.set_defaults(fn=_cmd_postmortem)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a bundle's captured query "
+        "and diff against the recorded outcome",
+    )
+    p_replay.add_argument("bundle", help="a PM_*.bundle file")
+    p_replay.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p_replay.set_defaults(fn=_cmd_replay)
 
     def _service_common(p) -> None:
         p.add_argument("--workers", type=int, default=4)
@@ -926,6 +1041,20 @@ def _build_parser() -> argparse.ArgumentParser:
             help="slow the modeled hardware by this exact factor "
             "(chaos-under-load testing)",
         )
+        p.add_argument(
+            "--no-recorder",
+            action="store_true",
+            dest="no_recorder",
+            help="disable the always-on flight recorder (no rings, no "
+            "postmortem bundles)",
+        )
+        p.add_argument(
+            "--postmortem-dir",
+            default="postmortems",
+            dest="postmortem_dir",
+            help="directory the flight recorder writes PM_*.bundle "
+            "files into",
+        )
         p.add_argument("--out", help="write result NDJSON to this file")
 
     p_serve = sub.add_parser(
@@ -943,8 +1072,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="admin_port",
         metavar="PORT",
-        help="expose /healthz /statusz /metrics /profilez on this "
-        "port (0 = OS-assigned)",
+        help="expose /healthz /statusz /metrics /profilez /debugz on "
+        "this port (0 = OS-assigned)",
     )
     p_serve.add_argument(
         "--linger",
@@ -1091,6 +1220,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve",
         "sweep",
         "dashboard",
+        "postmortem",
+        "replay",
     }
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["exp", *argv]

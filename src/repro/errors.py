@@ -8,6 +8,7 @@ Hierarchy::
 
     ReproError
     ├── GraphFormatError      (also ValueError)    — malformed input files
+    │   └── BundleError                            — unreadable postmortem bundle
     ├── NotConnectedError     (also ValueError)    — MST-only code, MSF input
     ├── VerificationError     (also AssertionError) — result != serial Kruskal
     ├── DeviceFault           (also RuntimeError)  — simulated hardware fault
@@ -22,6 +23,10 @@ The CLI maps the families onto distinct nonzero exit codes
 argparse's usage-error code and ``1`` the generic failure (timeouts
 included — a timeout is a scheduling outcome, overload is a deliberate
 serving decision, so the two carry different codes).
+:data:`EXIT_REPLAY_DIVERGED` is the ``repro-mst replay`` verdict code:
+the bundle replayed cleanly but the re-executed outcome differs from
+the recorded one — not an input problem and not a fault, a
+determinism finding in its own exit family.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "GraphFormatError",
+    "BundleError",
     "NotConnectedError",
     "VerificationError",
     "DeviceFault",
@@ -40,12 +46,14 @@ __all__ = [
     "EXIT_VERIFY_FAILED",
     "EXIT_UNRECOVERED_FAULT",
     "EXIT_OVERLOADED",
+    "EXIT_REPLAY_DIVERGED",
 ]
 
 EXIT_INPUT_ERROR = 3
 EXIT_VERIFY_FAILED = 4
 EXIT_UNRECOVERED_FAULT = 5
 EXIT_OVERLOADED = 6
+EXIT_REPLAY_DIVERGED = 7
 
 
 class ReproError(Exception):
@@ -58,6 +66,17 @@ class GraphFormatError(ReproError, ValueError):
     Raised with enough context to find the problem (path, line number,
     offending value) instead of letting numpy produce garbage arrays or
     an IndexError deep inside CSR construction.
+    """
+
+
+class BundleError(GraphFormatError):
+    """A postmortem bundle is missing, malformed, or not replayable.
+
+    A bundle is an input file like any graph file, so this rides the
+    :class:`GraphFormatError` family and exits with
+    :data:`EXIT_INPUT_ERROR` — distinct from
+    :data:`EXIT_REPLAY_DIVERGED`, which means the bundle was fine but
+    the replayed outcome disagreed with the recorded one.
     """
 
 

@@ -26,6 +26,10 @@ and modeled time go":
   so live service metrics reflect recent traffic;
 * :mod:`~repro.obs.slo` — declarative SLOs evaluated into windowed
   burn rates and alert transitions;
+* :mod:`~repro.obs.recorder` — the always-on flight recorder: bounded
+  rings of recent events/outcomes/spans, postmortem bundles captured
+  on failure signals, and deterministic bundle replay (the
+  ``repro-mst postmortem`` / ``repro-mst replay`` verbs);
 * :mod:`~repro.obs.dashboard` — the self-contained static HTML run
   dashboard behind ``repro-mst dashboard``.
 """
@@ -39,6 +43,7 @@ from .events import (
     NDJSONSink,
     NullEventLog,
     configure_events,
+    format_event_line,
     get_event_log,
     new_run_id,
     reset_events,
@@ -59,6 +64,17 @@ from .metrics import (
     metric_direction,
 )
 from .profile import KernelBreakdown, ProfileDiff, RunProfile, diff, graph_fingerprint
+from .recorder import (
+    FlightRecorder,
+    RecorderConfig,
+    ReplayReport,
+    TeeEventLog,
+    bundle_summary,
+    load_bundle,
+    recent_bundles,
+    render_postmortem,
+    replay_bundle,
+)
 from .regress import (
     Baseline,
     BaselineStore,
@@ -81,6 +97,7 @@ __all__ = [
     "DEFAULT_SLOS",
     "Event",
     "EventLog",
+    "FlightRecorder",
     "ListSink",
     "NDJSONSink",
     "NULL_EVENTS",
@@ -98,20 +115,29 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "ProfileDiff",
+    "RecorderConfig",
+    "ReplayReport",
     "RunComparison",
     "RunProfile",
     "Span",
+    "TeeEventLog",
     "Tracer",
     "WallStats",
+    "bundle_summary",
     "chrome_trace_events",
     "collect_result_metrics",
     "compare_to_baseline",
     "configure_events",
     "diff",
+    "format_event_line",
     "get_event_log",
     "graph_fingerprint",
     "host_hotspots",
+    "load_bundle",
     "new_run_id",
+    "recent_bundles",
+    "render_postmortem",
+    "replay_bundle",
     "reset_events",
     "launch_shares",
     "median_mad",

@@ -456,6 +456,30 @@ def _round_table(rounds: list[dict]) -> str:
     )
 
 
+def _incidents_section(incidents: list[dict] | None) -> str:
+    """The incidents panel: recent postmortem bundles, newest first."""
+    if not incidents:
+        return ""
+    rows = "".join(
+        f"<tr><td>{_esc(b.get('captured_at', '?'))}</td>"
+        f"<td>{_esc(b.get('reason', '?'))}</td>"
+        f"<td>{_esc(b.get('query') or '-')}</td>"
+        f"<td>{_esc(b.get('error_kind') or '-')}</td>"
+        f"<td>{_esc(str(b.get('exit_code', 0)))}</td>"
+        f"<td class=\"mono\">{_esc(str(b.get('path', '')))}</td></tr>"
+        for b in reversed(incidents)
+    )
+    return (
+        '<div class="card"><h2>Incidents</h2>'
+        "<p>Postmortem bundles captured by the flight recorder — "
+        "inspect with <code>repro-mst postmortem</code>, re-execute "
+        "with <code>repro-mst replay</code>.</p>"
+        "<table><thead><tr><th>captured</th><th>reason</th>"
+        "<th>query</th><th>kind</th><th>exit</th><th>bundle</th>"
+        f"</tr></thead><tbody>{rows}</tbody></table></div>"
+    )
+
+
 def render_dashboard(
     profile: dict,
     *,
@@ -463,13 +487,17 @@ def render_dashboard(
     service: dict | None = None,
     slos: list[dict] | None = None,
     title: str | None = None,
+    incidents: list[dict] | None = None,
 ) -> str:
     """Render the full dashboard HTML for one run-profile dict.
 
     ``trajectory`` points at the benchmark trajectory directory
     (``BENCH_*.json``); ``service`` is a flat service-metric dict and
     ``slos`` a list of SLO-status dicts (both optional — the service
-    card only renders when data is supplied).
+    card only renders when data is supplied).  ``incidents`` is a list
+    of postmortem-bundle summaries
+    (:func:`~repro.obs.recorder.recent_bundles`) rendered as the
+    incidents panel.
     """
     graph = profile.get("graph", {})
     rounds = profile.get("round_log") or []
@@ -542,6 +570,7 @@ def render_dashboard(
 <div class="tiles">{''.join(tiles)}</div>
 {timeline}
 <div class="row">{kernel_card}{_service_section(service, slos)}</div>
+{_incidents_section(incidents)}
 {_trajectory_section(bench, service_traj)}
 <footer>repro-mst dashboard · schema {_esc(profile.get('schema', '?'))}</footer>
 <div id="tip"></div>

@@ -57,6 +57,7 @@ __all__ = [
     "ConsoleSink",
     "ListSink",
     "configure_events",
+    "format_event_line",
     "get_event_log",
     "reset_events",
     "new_run_id",
@@ -103,6 +104,22 @@ class NDJSONSink:
             self.stream.flush()
 
 
+def format_event_line(
+    ts: float, level: str, name: str, fields: dict
+) -> str:
+    """One human-readable event line (``HH:MM:SS.mmm LEVEL name k=v``).
+
+    Shared by :class:`ConsoleSink` and the flight recorder's postmortem
+    timeline, so a live tail and an incident report read identically.
+    """
+    clock = time.strftime("%H:%M:%S", time.localtime(ts))
+    millis = int((ts % 1) * 1000)
+    kv = " ".join(f"{k}={v}" for k, v in fields.items())
+    return (
+        f"{clock}.{millis:03d} {level.upper():7s} {name:24s} {kv}".rstrip()
+    )
+
+
 class ConsoleSink:
     """Human-readable lines (``HH:MM:SS.mmm LEVEL name k=v ...``)."""
 
@@ -111,12 +128,8 @@ class ConsoleSink:
         self._lock = threading.Lock()
 
     def emit(self, event: Event) -> None:
-        clock = time.strftime("%H:%M:%S", time.localtime(event.ts))
-        millis = int((event.ts % 1) * 1000)
-        kv = " ".join(f"{k}={v}" for k, v in event.fields.items())
-        line = (
-            f"{clock}.{millis:03d} {event.level.upper():7s} "
-            f"{event.name:24s} {kv}".rstrip()
+        line = format_event_line(
+            event.ts, event.level, event.name, event.fields
         )
         with self._lock:
             self.stream.write(line + "\n")

@@ -73,7 +73,15 @@ _INFO = {
     "resilience.policy.degraded",
     "resilience.policy.quarantined",
 }
-_INFO_PREFIXES = ("service.latency.", "resilience.policy.")
+# Flight-recorder ring occupancy and postmortem-bundle counts describe
+# what the black box observed, never solver performance — operator
+# info, exempt from ProfileDiff regression gating.
+_INFO_PREFIXES = (
+    "service.latency.",
+    "resilience.policy.",
+    "obs.recorder.",
+    "service.postmortem.",
+)
 
 
 def metric_direction(name: str) -> str:

@@ -81,7 +81,12 @@ class SLOSpec:
 
 @dataclass
 class SLOStatus:
-    """One spec evaluated against the current window."""
+    """One spec evaluated against the current window.
+
+    ``exemplar`` is the ID of the most recent query that spent this
+    spec's error budget (failed / slow / escaped / shed) — the first
+    thing to pull out of the flight recorder when the SLO burns.
+    """
 
     spec: SLOSpec
     sli: float
@@ -89,6 +94,7 @@ class SLOStatus:
     total: float
     burn_rate: float
     alerting: bool
+    exemplar: str | None = None
 
     @property
     def healthy(self) -> bool:
@@ -104,6 +110,7 @@ class SLOStatus:
             "total": self.total,
             "burn_rate": self.burn_rate,
             "alerting": self.alerting,
+            "exemplar": self.exemplar,
         }
 
 
@@ -145,6 +152,8 @@ class SLOTracker:
         self._escaped = SlidingCounter(window_s, clock=clock)
         self._shed = SlidingCounter(window_s, clock=clock)
         self._alerting: dict[str, bool] = {s.name: False for s in self.specs}
+        # Last budget-spending query ID per spec kind (exemplars).
+        self._exemplars: dict[str, str] = {}
         # One latency bound serves every latency spec; multiple bounds
         # would need one counter per spec — keep the common case cheap.
         self._latency_bounds = sorted(
@@ -162,20 +171,33 @@ class SLOTracker:
         escaped: int = 0,
         shed: bool = False,
         ts: float | None = None,
+        query_id: str | None = None,
     ) -> None:
         """One served query: success flag, latency, escaped-fault count,
-        and whether the service load-shed it instead of running it."""
+        and whether the service load-shed it instead of running it.
+        ``query_id`` tags budget-spending records as the per-kind
+        exemplar surfaced in :class:`SLOStatus` and burn events."""
         self._total.inc(ts=ts)
         if ok:
             self._ok.inc(ts=ts)
+        elif query_id:
+            self._exemplars["availability"] = query_id
+        fast = False
         for bound in self._latency_bounds:
             if latency_s <= bound:
                 self._fast.inc(ts=ts)
+                fast = True
                 break
+        if self._latency_bounds and not fast and query_id:
+            self._exemplars["latency"] = query_id
         if escaped:
             self._escaped.inc(escaped, ts=ts)
+            if query_id:
+                self._exemplars["zero"] = query_id
         if shed:
             self._shed.inc(ts=ts)
+            if query_id:
+                self._exemplars["shed"] = query_id
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -205,18 +227,24 @@ class SLOTracker:
                 burn = 0.0 if sli >= 1.0 else float("inf")
             else:
                 burn = (1.0 - sli) / budget
+            exemplar = self._exemplars.get(spec.kind)
             alerting = burn > spec.alert_burn
             was = self._alerting[spec.name]
             if alerting != was:
                 self._alerting[spec.name] = alerting
+                fields = {
+                    "slo": spec.name,
+                    "kind": spec.kind,
+                    "sli": round(sli, 6),
+                    "burn_rate": burn if burn != float("inf") else "inf",
+                    "objective": spec.objective,
+                }
+                if alerting and exemplar:
+                    fields["exemplar"] = exemplar
                 self.events.emit(
                     "slo.burn" if alerting else "slo.recovered",
                     level="error" if alerting else "info",
-                    slo=spec.name,
-                    kind=spec.kind,
-                    sli=round(sli, 6),
-                    burn_rate=burn if burn != float("inf") else "inf",
-                    objective=spec.objective,
+                    **fields,
                 )
             out.append(
                 SLOStatus(
@@ -226,6 +254,7 @@ class SLOTracker:
                     total=total,
                     burn_rate=burn,
                     alerting=alerting,
+                    exemplar=exemplar if alerting else None,
                 )
             )
         return out

@@ -118,17 +118,21 @@ class SlidingHistogram:
         self.max_samples = max_samples
         self._clock = clock or time.monotonic
         self._lock = threading.Lock()
-        self._samples: list[tuple[float, float]] = []  # (ts, value)
+        # (ts, value, exemplar) — exemplar is an opaque correlation ID
+        # (the engine passes query IDs) or None.
+        self._samples: list[tuple[float, float, object]] = []
         self.dropped = 0
 
-    def observe(self, value: float, *, ts: float | None = None) -> None:
+    def observe(
+        self, value: float, *, ts: float | None = None, exemplar=None
+    ) -> None:
         now = self._clock()
         ts = now if ts is None else ts
         with self._lock:
             if ts <= now - self.window_s:
                 self.dropped += 1
                 return
-            self._samples.append((ts, float(value)))
+            self._samples.append((ts, float(value), exemplar))
             if len(self._samples) > self.max_samples:
                 self._prune_locked(now)
                 # Still over budget inside the window: shed oldest.
@@ -146,7 +150,19 @@ class SlidingHistogram:
         now = self._clock() if now is None else now
         with self._lock:
             self._prune_locked(now)
-            return [v for _, v in self._samples]
+            return [v for _, v, _ in self._samples]
+
+    def max_exemplar(self, *, now: float | None = None):
+        """The exemplar attached to the window's largest observation
+        (``None`` when the window is empty or untagged) — the query to
+        pull up when the p95 looks wrong."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            self._prune_locked(now)
+            live = [s for s in self._samples if s[2] is not None]
+        if not live:
+            return None
+        return max(live, key=lambda s: s[1])[2]
 
     def count(self, *, now: float | None = None) -> int:
         return len(self._live_values(now))
@@ -170,7 +186,13 @@ class SlidingHistogram:
         return xs[idx]
 
     def summary(self, *, now: float | None = None) -> dict[str, float]:
-        """count/mean/p50/p95/max over the live window."""
+        """count/mean/p50/p95/max over the live window.
+
+        When the max observation carries an exemplar, a
+        ``max_exemplar`` key rides along; the empty-window sentinel
+        shape is unchanged.
+        """
+        now = self._clock() if now is None else now
         xs = sorted(self._live_values(now))
         if not xs:
             return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
@@ -178,10 +200,14 @@ class SlidingHistogram:
         def q(frac: float) -> float:
             return xs[min(len(xs) - 1, max(0, math.ceil(frac * len(xs)) - 1))]
 
-        return {
+        out = {
             "count": len(xs),
             "mean": sum(xs) / len(xs),
             "p50": q(0.5),
             "p95": q(0.95),
             "max": xs[-1],
         }
+        exemplar = self.max_exemplar(now=now)
+        if exemplar is not None:
+            out["max_exemplar"] = exemplar
+        return out

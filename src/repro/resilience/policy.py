@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import monotonic
 from typing import Callable
 
@@ -364,6 +364,7 @@ class CircuitBreaker:
         self._open_until = 0.0
         self._rng = random.Random(f"breaker:{cfg.seed}:{key}")
         self.transitions: list[tuple[str, str, str]] = []  # (from, to, why)
+        self.last_failure_query: str | None = None  # exemplar
 
     # -- transitions ---------------------------------------------------
     def _move_locked(self, to: str, why: str) -> None:
@@ -387,14 +388,15 @@ class CircuitBreaker:
         # half-open is a scheduling detail (debug).
         if self.events.enabled:
             if to == BREAKER_OPEN:
-                self.events.emit(
-                    "breaker.open",
-                    level="error",
-                    graph=self.key,
-                    failures=self.failures,
-                    opens=self.opens,
-                    why=why,
-                )
+                fields = {
+                    "graph": self.key,
+                    "failures": self.failures,
+                    "opens": self.opens,
+                    "why": why,
+                }
+                if self.last_failure_query:
+                    fields["exemplar"] = self.last_failure_query
+                self.events.emit("breaker.open", level="error", **fields)
             elif to == BREAKER_CLOSED:
                 self.events.emit(
                     "breaker.closed", level="info", graph=self.key, why=why
@@ -421,9 +423,14 @@ class CircuitBreaker:
             self._probe_inflight = True
             return True
 
-    def record(self, ok: bool) -> None:
-        """Feed one execution result into the automaton."""
+    def record(self, ok: bool, *, query_id: str | None = None) -> None:
+        """Feed one execution result into the automaton.
+
+        ``query_id`` tags failures: the last failing query becomes the
+        exemplar on ``breaker.open`` events and in snapshots."""
         with self._lock:
+            if not ok and query_id:
+                self.last_failure_query = query_id
             if self.state == BREAKER_HALF_OPEN:
                 self._probe_inflight = False
                 if ok:
@@ -466,6 +473,7 @@ class CircuitBreaker:
                 "open_for_s": max(0.0, self._open_until - self._clock())
                 if self.state == BREAKER_OPEN
                 else 0.0,
+                "last_failure_query": self.last_failure_query,
             }
 
 
@@ -675,9 +683,15 @@ class ResiliencePolicy:
         self._count("breaker_fastfail")
         return True
 
-    def breaker_record(self, graph_digest: str | None, *, ok: bool) -> None:
+    def breaker_record(
+        self,
+        graph_digest: str | None,
+        *,
+        ok: bool,
+        query_id: str | None = None,
+    ) -> None:
         if self.cfg.breaker_on and graph_digest is not None:
-            self.breaker(graph_digest).record(ok)
+            self.breaker(graph_digest).record(ok, query_id=query_id)
 
     def breaker_snapshots(self) -> list[dict]:
         with self._breaker_lock:

@@ -6,6 +6,12 @@ pipeline (result cache → build cache → worker pool with in-flight
 dedup), :mod:`~repro.service.query` for the query model and cache-key
 normalization, and :mod:`~repro.service.batch` for the NDJSON batch
 front end used by ``repro-mst serve`` and ``repro-mst sweep``.
+
+Failures leave evidence: the engine arms an always-on flight recorder
+(:mod:`~repro.obs.recorder`) by default, which captures self-contained
+postmortem bundles on typed error outcomes, SLO burns, breaker opens,
+and serve-path crashes — inspect them with ``repro-mst postmortem``
+and re-execute them deterministically with ``repro-mst replay``.
 """
 
 from .admin import AdminServer, render_prometheus

@@ -15,6 +15,10 @@ four classic operational endpoints:
 * ``/profilez``  — the most recent executed query's
   :class:`~repro.obs.profile.RunProfile` as JSON (requires
   ``ServiceConfig.keep_profile``; ``404`` until a query has executed).
+* ``/debugz``    — the flight recorder's black box: ring-buffer tails
+  (events, outcomes, span summaries, metric snapshots) plus the list
+  of recent postmortem bundles on disk (requires the recorder, which
+  ``ServiceConfig`` arms by default; ``404`` when disabled).
 
 Metric names are sanitized for Prometheus (dots → underscores, a
 ``repro_`` namespace prefix); counters and gauges carry ``# TYPE``
@@ -191,6 +195,19 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._send_json(200, profile)
+            elif path == "/debugz":
+                recorder = getattr(self.service, "recorder", None)
+                if recorder is None:
+                    self._send_json(
+                        404,
+                        {
+                            "error": "flight recorder disabled",
+                            "hint": "needs ServiceConfig.recorder (on by "
+                            "default; --no-recorder turns it off)",
+                        },
+                    )
+                else:
+                    self._send_json(200, recorder.debug_snapshot())
             else:
                 self._send_json(
                     404,
@@ -201,6 +218,7 @@ class _Handler(BaseHTTPRequestHandler):
                             "/statusz",
                             "/metrics",
                             "/profilez",
+                            "/debugz",
                         ],
                     },
                 )

@@ -62,6 +62,7 @@ from pathlib import Path
 from ..errors import Overloaded
 from ..obs.events import get_event_log
 from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import FlightRecorder, RecorderConfig
 from ..obs.slo import SLOTracker
 from ..obs.trace import Tracer
 from ..obs.window import SlidingCounter, SlidingHistogram
@@ -105,6 +106,10 @@ class ServiceConfig:
     # load testing (GPUSpec.slowed, as the perf gate's CI job uses).
     policy: PolicyConfig | None = None
     slowdown: float = 1.0
+    # Always-on flight recorder (None = off).  The default instance is
+    # frozen and shared; it only sizes ring buffers and names the
+    # postmortem directory, so sharing is safe.
+    recorder: RecorderConfig | None = RecorderConfig()
 
     def __post_init__(self) -> None:
         if self.pool not in ("thread", "process"):
@@ -187,6 +192,7 @@ def execute_query(
     profile_sink=None,
     slowdown: float = 1.0,
     deadline: float | None = None,
+    events=None,
 ) -> QueryOutcome:
     """Run one query to completion and summarize it as an outcome.
 
@@ -199,7 +205,9 @@ def execute_query(
     ``slowdown`` uniformly slows the modeled hardware by that exact
     factor (chaos-under-load testing); ``deadline`` is a
     ``time.perf_counter`` timestamp propagated into the ECL-MST round
-    loop, past which the run aborts as a timeout outcome.
+    loop, past which the run aborts as a timeout outcome.  ``events``
+    overrides the process-global event log (the service passes its
+    recorder tee here so solver events reach the flight-recorder ring).
     """
     from ..obs.profile import graph_fingerprint
 
@@ -215,7 +223,12 @@ def execute_query(
             t1 = time.perf_counter()
             with tracer.span("run", kind="host", code=query.code):
                 result = _run_code(
-                    query, graph, tracer, slowdown=slowdown, deadline=deadline
+                    query,
+                    graph,
+                    tracer,
+                    slowdown=slowdown,
+                    deadline=deadline,
+                    events=events,
                 )
             run_s = time.perf_counter() - t1
     except BaseException as exc:  # typed failures -> error outcome
@@ -259,7 +272,13 @@ def execute_query(
 
 
 def _run_code(
-    query: Query, graph, tracer, *, slowdown: float = 1.0, deadline=None
+    query: Query,
+    graph,
+    tracer,
+    *,
+    slowdown: float = 1.0,
+    deadline=None,
+    events=None,
 ):
     from ..baselines.registry import get_runner
     from ..bench.harness import SYSTEM1, SYSTEM2
@@ -286,7 +305,7 @@ def _run_code(
         # Bind the query ID into the solver's event log so solver/
         # resilience events join back to the serving-layer events (the
         # solver adds its own run ID on top).
-        log = get_event_log()
+        log = events if events is not None else get_event_log()
         events = log.bind(query=query.id) if log.enabled else None
         return ecl_mst(
             graph,
@@ -387,6 +406,16 @@ class MSTService:
         self.config = config or ServiceConfig()
         self.registry = registry or MetricsRegistry()
         self.events = events if events is not None else get_event_log()
+        # Flight recorder: constructed first and teed into the event
+        # flow so everything downstream (SLO tracker, policy, solver
+        # runs) feeds its rings — even when the user-facing log is the
+        # NULL_EVENTS default.
+        self.recorder: FlightRecorder | None = None
+        if self.config.recorder is not None and self.config.recorder.enabled:
+            self.recorder = FlightRecorder(
+                self.config.recorder, registry=self.registry
+            ).attach(self)
+            self.events = self.recorder.tee(self.events)
         self.results = LRUCache(self.config.result_cache_size)
         self.graphs = LRUCache(self.config.graph_cache_size)
         # Sliding windows behind service.qps / p50 / p95 and the SLOs:
@@ -775,8 +804,10 @@ class MSTService:
         outcome = self._execute_with_retries(
             query, graph, tracer, deadline, rkey
         )
+        if self.recorder is not None:
+            self.recorder.record_spans(query.id, tracer)
         if pol is not None:
-            pol.breaker_record(digest, ok=outcome.ok)
+            pol.breaker_record(digest, ok=outcome.ok, query_id=query.id)
             if pol.cfg.quarantine_on:
                 try:
                     skey = query.spec_key()
@@ -838,6 +869,7 @@ class MSTService:
             profile_sink=sink,
             slowdown=self.config.slowdown,
             deadline=deadline,
+            events=self.events,
         )
         pol = self.policy
         if pol is None or not pol.cfg.retries_on:
@@ -879,6 +911,7 @@ class MSTService:
                 profile_sink=sink,
                 slowdown=self.config.slowdown,
                 deadline=deadline,
+                events=self.events,
             )
         if retry.attempts_used:
             if outcome.ok:
@@ -930,6 +963,7 @@ class MSTService:
             graph,
             tracer=tracer,
             slowdown=self.config.slowdown,
+            events=self.events,
         )
         if not fb.ok:
             return None
@@ -997,20 +1031,24 @@ class MSTService:
             raw, id=ticket.query.id, served_by=served, latency_s=latency
         )
         self.registry.histogram("service.latency").observe(latency)
-        self._observe_done(out, latency)
+        self._observe_done(out, latency, query=ticket.query)
         if out.status == "timeout":
             self.registry.counter("service.timeouts").inc()
         return out
 
-    def _observe_done(self, out: QueryOutcome, latency: float) -> None:
-        """Feed one finished waiter into the sliding windows and SLOs.
+    def _observe_done(
+        self, out: QueryOutcome, latency: float, query: Query | None = None
+    ) -> None:
+        """Feed one finished waiter into the sliding windows, SLOs, and
+        the flight recorder.
 
         Availability counts *served* outcomes — a degraded answer is
         still an answer — while shed queries feed the shed-rate SLO.
         Without the policy, served == ok and shed never happens, so
-        the accounting is unchanged.
+        the accounting is unchanged.  The outcome's query ID rides
+        along as the exemplar for the latency window and SLOs.
         """
-        self._lat_window.observe(latency)
+        self._lat_window.observe(latency, exemplar=out.id)
         self._done_window.inc()
         escaped = 0
         res = out.resilience
@@ -1021,7 +1059,12 @@ class MSTService:
             latency_s=latency,
             escaped=escaped,
             shed=out.status == "shed",
+            query_id=out.id,
         )
+        rec = self.recorder
+        if rec is not None:
+            rec.observe_outcome(out, query=query)
+            rec.maybe_snapshot(self)
 
     def _timeout_outcome(
         self, ticket: Ticket, timeout: float | None, why: str
@@ -1043,7 +1086,7 @@ class MSTService:
             status="timeout",
             latency_s=latency,
         )
-        self._observe_done(out, latency)
+        self._observe_done(out, latency, query=ticket.query)
         return out
 
     def _on_timeout(self, ticket: Ticket, timeout: float | None) -> QueryOutcome:
@@ -1098,7 +1141,7 @@ class MSTService:
             status="cancelled",
             latency_s=latency,
         )
-        self._observe_done(out, latency)
+        self._observe_done(out, latency, query=ticket.query)
         return out
 
     # ------------------------------------------------------------------
@@ -1113,6 +1156,8 @@ class MSTService:
             if isinstance(item, QueryOutcome):
                 self.registry.counter("service.queries").inc()
                 self.registry.counter("service.errors").inc()
+                if self.recorder is not None:
+                    self.recorder.observe_outcome(item)
                 tickets.append(item)
             else:
                 tickets.append(self.submit(item))
@@ -1151,6 +1196,8 @@ class MSTService:
         out["service.result_cache_size"] = float(len(self.results))
         if self.policy is not None:
             out.update(self.policy.windowed_metrics())
+        if self.recorder is not None:
+            out.update(self.recorder.metrics())
         return out
 
     def slo_statuses(self):
@@ -1189,6 +1236,15 @@ class MSTService:
             "policy": (
                 {"enabled": True, **self.policy.status()}
                 if self.policy is not None
+                else {"enabled": False}
+            ),
+            "recorder": (
+                {
+                    "enabled": True,
+                    "dir": str(self.recorder.config.dir),
+                    "bundles_written": self.recorder.bundles_written,
+                }
+                if self.recorder is not None
                 else {"enabled": False}
             ),
         }

@@ -165,6 +165,23 @@ class QueryOutcome:
             "metrics": self.metrics,
         }
 
+    def replay_identity(self) -> dict:
+        """The fields a deterministic replay must reproduce exactly.
+
+        Extends :meth:`identity` with the typed-failure surface, so it
+        covers error outcomes (where the payload fields are absent)
+        as well as successes — the comparison contract of
+        ``repro-mst replay``.
+        """
+        out = {
+            "status": self.status,
+            "error_kind": self.error_kind,
+            "exit_code": self.exit_code,
+        }
+        if self.status in _PAYLOAD_STATUSES:
+            out.update(self.identity())
+        return out
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

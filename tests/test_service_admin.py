@@ -1,4 +1,4 @@
-"""Admin endpoints: /healthz, /statusz, /metrics, /profilez.
+"""Admin endpoints: /healthz, /statusz, /metrics, /profilez, /debugz.
 
 Runs a real :class:`AdminServer` on an OS-assigned port against a live
 service and validates each body — including that ``/metrics`` is
@@ -252,7 +252,28 @@ class TestEndpoints:
         _, admin = live
         status, _, body = get(admin.url + "/nope")
         assert status == 404
-        assert "/metrics" in json.loads(body)["endpoints"]
+        endpoints = json.loads(body)["endpoints"]
+        assert "/metrics" in endpoints
+        assert "/debugz" in endpoints
+
+    def test_debugz_ring_tails(self, live):
+        _, admin = live
+        status, headers, body = get(admin.url + "/debugz")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        doc = json.loads(body)
+        assert doc["enabled"] is True
+        assert set(doc["rings"]) == {
+            "events",
+            "outcomes",
+            "spans",
+            "snapshots",
+        }
+        # The seed query left tracks in every observation ring.
+        assert doc["rings"]["outcomes"]["len"] >= 1
+        assert any(o["id"] == "seed" for o in doc["outcomes"])
+        assert any(s["query"] == "seed" for s in doc["spans"])
+        assert isinstance(doc["bundles"], list)
 
 
 class TestProfilezGating:
@@ -263,3 +284,77 @@ class TestProfilezGating:
                 status, _, body = get(admin.url + "/profilez")
         assert status == 404
         assert "keep_profile" in json.loads(body)["hint"]
+
+
+class TestDebugzGating:
+    def test_404_when_recorder_disabled(self):
+        with service(recorder=None) as svc:
+            with AdminServer(svc) as admin:
+                status, _, body = get(admin.url + "/debugz")
+        assert status == 404
+        assert "recorder" in json.loads(body)["hint"]
+
+
+# ----------------------------------------------------------------------
+# Concurrency: admin reads racing live queries must never tear
+# ----------------------------------------------------------------------
+class TestConcurrentReads:
+    def test_profilez_and_debugz_under_concurrent_queries(self, tmp_path):
+        import threading
+
+        from repro.obs.recorder import RecorderConfig
+
+        cfg = ServiceConfig(
+            workers=4,
+            keep_profile=True,
+            recorder=RecorderConfig(
+                dir=str(tmp_path / "pm"), snapshot_interval_s=0.0
+            ),
+        )
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def scrape(path: str):
+            while not stop.is_set():
+                status, _, body = get(admin.url + path)
+                if status != 200:
+                    failures.append(f"{path}: HTTP {status}")
+                    return
+                try:
+                    # Torn reads would break parsing.
+                    if path == "/metrics":
+                        parse_prometheus(body)
+                    else:
+                        json.loads(body)
+                except (AssertionError, json.JSONDecodeError) as exc:
+                    failures.append(f"{path}: {exc}")
+                    return
+
+        with MSTService(cfg) as svc:
+            svc.run_batch([q(id="warm")])  # /profilez has a body
+            with AdminServer(svc) as admin:
+                threads = [
+                    threading.Thread(target=scrape, args=(p,), daemon=True)
+                    for p in ("/profilez", "/debugz", "/statusz", "/metrics")
+                ]
+                for t in threads:
+                    t.start()
+                # Mixed traffic, including failures that trigger bundle
+                # captures, racing the scrapers the whole time.
+                batch = []
+                for i in range(6):
+                    batch.append(q(id=f"ok-{i}", input="2d-2e20.sym"))
+                    batch.append(
+                        q(
+                            id=f"bad-{i}",
+                            n_faults=1,
+                            check_cadence=0,
+                            fault_kinds=("kernel-fail",),
+                            fault_seed=i,
+                        )
+                    )
+                svc.run_batch(batch)
+                stop.set()
+                for t in threads:
+                    t.join(timeout=10.0)
+        assert not failures, failures
