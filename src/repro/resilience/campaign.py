@@ -179,6 +179,8 @@ def run_campaign(
     resilience: ResilienceConfig | None = None,
     gpu: GPUSpec = RTX_3080_TI,
     progress=None,
+    shards: int = 1,
+    shard_strategy: str = "contiguous",
 ) -> CampaignReport:
     """Inject at least ``n_faults`` faults across seeded trials.
 
@@ -187,6 +189,12 @@ def run_campaign(
     run did), with a hard cap of ``4 * ceil(n_faults /
     faults_per_trial)`` trials.  ``progress`` is an optional callable
     receiving one line per trial.
+
+    With ``shards > 1`` every run executes across that many simulated
+    devices and each trial's faults land on a single seed-selected
+    device (``plan.seed % shards``) — the "kill one GPU of the fleet"
+    drill.  The dry run shards identically, so the fault horizons match
+    the targeted device's local launch/atomic counts.
     """
     config = config or EclMstConfig()
     resilience = resilience or ResilienceConfig()
@@ -199,7 +207,9 @@ def run_campaign(
     # sanity check that the resilient driver agrees with the reference.
     dry_injector_plan = FaultPlan(seed=seed)
     dry = ecl_mst(
-        graph, config, gpu=gpu, resilience=resilience, fault_plan=dry_injector_plan
+        graph, config, gpu=gpu, resilience=resilience,
+        fault_plan=dry_injector_plan, shards=shards,
+        shard_strategy=shard_strategy,
     )
     if not np.array_equal(dry.in_mst, reference):
         raise AssertionError(
@@ -225,7 +235,8 @@ def run_campaign(
             kinds=trial_kinds,
         )
         result = ecl_mst(
-            graph, config, gpu=gpu, resilience=resilience, fault_plan=plan
+            graph, config, gpu=gpu, resilience=resilience, fault_plan=plan,
+            shards=shards, shard_strategy=shard_strategy,
         )
         res = result.extra["resilience"]
         inj = result.extra["fault_injection"]

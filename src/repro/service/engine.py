@@ -106,6 +106,10 @@ class ServiceConfig:
     # load testing (GPUSpec.slowed, as the perf gate's CI job uses).
     policy: PolicyConfig | None = None
     slowdown: float = 1.0
+    # Default simulated-device count for queries that don't say
+    # (Query.shards == 0 inherits this at submit time); 1 = the
+    # single-GPU paper algorithm, untouched.
+    shards: int = 1
     # Always-on flight recorder (None = off).  The default instance is
     # frozen and shared; it only sizes ring buffers and names the
     # postmortem directory, so sharing is safe.
@@ -120,6 +124,8 @@ class ServiceConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.slowdown < 1.0:
             raise ValueError("slowdown must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if (
             self.policy is not None
             and self.policy.enabled
@@ -173,7 +179,14 @@ def _build_fault_plan(query: Query, config, graph, gpu):
     from ..core.eclmst import ecl_mst
     from ..resilience.faults import FAULT_KINDS, FaultPlan
 
-    dry = ecl_mst(graph, config, gpu=gpu, fault_plan=FaultPlan(seed=query.fault_seed or 0))
+    dry = ecl_mst(
+        graph,
+        config,
+        gpu=gpu,
+        fault_plan=FaultPlan(seed=query.fault_seed or 0),
+        shards=int(query.shards) or 1,
+        shard_strategy=query.shard_strategy,
+    )
     fi = dry.extra["fault_injection"]
     return FaultPlan.generate(
         seed=query.fault_seed or 0,
@@ -264,6 +277,7 @@ def execute_query(
         mst_digest=edges_digest(result),
         metrics=collect_result_metrics(result),
         resilience=dict(result.extra.get("resilience") or {}),
+        shard=dict(result.extra.get("shard") or {}),
         result_key=result_key(fingerprint["digest"], query),
         load_seconds=load_s,
         run_seconds=run_s,
@@ -317,6 +331,8 @@ def _run_code(
             fault_plan=fault_plan,
             events=events,
             deadline=deadline,
+            shards=int(query.shards) or 1,
+            shard_strategy=query.shard_strategy,
         )
     try:
         runner = get_runner(query.code)
@@ -428,6 +444,10 @@ class MSTService:
         )
         self.started_at = time.time()
         self.latest_profile: dict | None = None
+        # Most recent executed query's shard breakdown (the /metrics
+        # per-device repro_shard_* gauges); None until a sharded query
+        # has run.
+        self.latest_shard: dict | None = None
         self._lock = threading.Lock()
         self._closed = False
         self._inflight: dict[str, concurrent.futures.Future] = {}
@@ -478,6 +498,10 @@ class MSTService:
         to a stale cached answer) without touching the queue.
         """
         now = time.perf_counter()
+        if query.shards == 0 and self.config.shards > 1:
+            # Inherit the service's device count *before* any key is
+            # computed, so dedup/caching see the resolved spec.
+            query = replace(query, shards=self.config.shards)
         self.registry.counter("service.queries").inc()
         if self._closed:
             return self._resolved_ticket(
@@ -1050,6 +1074,15 @@ class MSTService:
         """
         self._lat_window.observe(latency, exemplar=out.id)
         self._done_window.inc()
+        if out.shard:
+            self.latest_shard = out.shard
+            reg = self.registry
+            reg.gauge("shard.devices").set(out.shard.get("shards", 0))
+            reg.gauge("shard.imbalance").set(out.shard.get("imbalance", 0.0))
+            reg.gauge("shard.cut_edges").set(out.shard.get("cut_edges", 0))
+            reg.gauge("shard.comms_time_share").set(
+                out.shard.get("comms_time_share", 0.0)
+            )
         escaped = 0
         res = out.resilience
         if isinstance(res, dict):
@@ -1221,6 +1254,7 @@ class MSTService:
                 "graph_cache_size": self.config.graph_cache_size,
                 "max_queue_depth": self.config.max_queue_depth,
                 "window_s": self.config.window_s,
+                "shards": self.config.shards,
             },
             "queue_depth": depth,
             "caches": {
@@ -1232,6 +1266,20 @@ class MSTService:
                 "qps": self._done_window.rate(),
                 "latency": self._lat_window.summary(),
             },
+            "shard": (
+                {
+                    "shards": self.latest_shard.get("shards", 0),
+                    "strategy": self.latest_shard.get("strategy", ""),
+                    "imbalance": self.latest_shard.get("imbalance", 0.0),
+                    "cut_edges": self.latest_shard.get("cut_edges", 0),
+                    "comms_time_share": self.latest_shard.get(
+                        "comms_time_share", 0.0
+                    ),
+                    "devices": self.latest_shard.get("devices", []),
+                }
+                if self.latest_shard
+                else {"shards": self.config.shards}
+            ),
             "slos": [s.to_dict() for s in self.slo_statuses()],
             "policy": (
                 {"enabled": True, **self.policy.status()}

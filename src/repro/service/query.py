@@ -31,6 +31,7 @@ from typing import Any, Mapping
 
 from ..core.config import DEOPT_STAGE_NAMES, EclMstConfig, deopt_stages
 from ..errors import GraphFormatError
+from ..shard.partition import PARTITION_STRATEGIES
 
 __all__ = ["Query", "QueryError", "result_key"]
 
@@ -60,6 +61,8 @@ _FIELDS = {
     "fault_seed",
     "n_faults",
     "fault_kinds",
+    "shards",
+    "shard_strategy",
 }
 _ALIASES = {"timeout": "timeout_s"}
 
@@ -82,6 +85,10 @@ class Query:
     fault_seed: int | None = None  # seeded fault injection (chaos query)
     n_faults: int = 0
     fault_kinds: tuple = ()  # fault models to inject; () = all
+    # Simulated devices to shard across; 0 = inherit the service's
+    # ServiceConfig.shards default (normalized at submit time).
+    shards: int = 0
+    shard_strategy: str = "contiguous"
 
     def __post_init__(self) -> None:
         if not self.input or not isinstance(self.input, str):
@@ -135,6 +142,25 @@ class Query:
             raise QueryError(
                 f"query {self.id}: resilience/fault injection applies only "
                 f"to ECL-MST, not {self.code!r}"
+            )
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise QueryError(
+                f"query {self.id}: shards must be an int, got {self.shards!r}"
+            )
+        if self.shards < 0:
+            raise QueryError(
+                f"query {self.id}: shards must be >= 0, got {self.shards}"
+            )
+        if self.shard_strategy not in PARTITION_STRATEGIES:
+            raise QueryError(
+                f"query {self.id}: unknown shard_strategy "
+                f"{self.shard_strategy!r}; choose from "
+                f"{', '.join(PARTITION_STRATEGIES)}"
+            )
+        if self.shards > 1 and self.code != "ECL-MST":
+            raise QueryError(
+                f"query {self.id}: sharded execution applies only to "
+                f"ECL-MST, not {self.code!r}"
             )
 
     # ------------------------------------------------------------------
@@ -211,6 +237,13 @@ class Query:
             "fault_seed": self.fault_seed,
             "n_faults": int(self.n_faults),
             "fault_kinds": list(self.fault_kinds),
+            # Explicit shards=1 and unset (0, inheriting a shards=1
+            # service default) hash identically: same computation.  The
+            # strategy only matters once there is more than one shard.
+            "shards": int(self.shards) or 1,
+            "shard_strategy": self.shard_strategy
+            if (int(self.shards) or 1) > 1
+            else "contiguous",
         }
 
     @staticmethod

@@ -1,0 +1,26 @@
+"""Multi-device sharded MST execution (partitioned Borůvka).
+
+Public surface: :func:`~repro.shard.engine.sharded_mst` (what
+``ecl_mst(shards=N)`` delegates to), the partitioners in
+:mod:`repro.shard.partition`, and the inter-device
+:class:`~repro.gpusim.costmodel.LinkSpec` cost model.
+"""
+
+from .engine import BYTES_PER_EDGE, sharded_mst
+from .partition import (
+    PARTITION_STRATEGIES,
+    Partition,
+    ShardGraph,
+    extract_shards,
+    partition_graph,
+)
+
+__all__ = [
+    "BYTES_PER_EDGE",
+    "PARTITION_STRATEGIES",
+    "Partition",
+    "ShardGraph",
+    "extract_shards",
+    "partition_graph",
+    "sharded_mst",
+]

@@ -1,0 +1,315 @@
+"""Multi-device sharded MST: bit-identity, accounting, integration.
+
+The sharded engine's contract: for any shard count and partition
+strategy the result is bit-identical (total weight, edge count, *and*
+the selected edge mask) to the single-device run, and the modeled time
+decomposes exactly into per-device exclusive shares + inter-device
+comms.  Also covers the merge-round correctness trap (a local MSF edge
+bypassed through another shard), the link cost model, per-shard fault
+injection, and the service/metrics/Prometheus surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.eclmst import ecl_mst
+from repro.core.verify import verify_mst
+from repro.generators import suite
+from repro.gpusim.costmodel import DEFAULT_LINK, LinkSpec
+from repro.graph.build import empty_graph
+from repro.obs.metrics import collect_result_metrics, metric_direction
+from repro.obs.trace import Tracer
+from repro.shard import BYTES_PER_EDGE, sharded_mst
+from repro.shard.engine import sharded_mst as sharded_mst_direct
+
+from helpers import make_graph
+
+SCALE = 0.05
+GRAPHS = ["internet", "2d-2e20.sym", "USA-road-d.NY"]
+
+
+def _accounting_parts(result):
+    sh = result.extra["shard"]
+    return (
+        sum(d["exclusive_seconds"] for d in sh["devices"])
+        + sh["comms_seconds"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Bit-identity with single-device execution
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", GRAPHS)
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_suite_graphs_match_single_device(self, name, shards):
+        g = suite.build(name, scale=SCALE)
+        base = ecl_mst(g)
+        for strategy in ("contiguous", "hash"):
+            r = ecl_mst(g, shards=shards, shard_strategy=strategy)
+            assert r.total_weight == base.total_weight
+            assert r.num_mst_edges == base.num_mst_edges
+            # Not just the weight: the exact same edge set.
+            assert np.array_equal(r.in_mst, base.in_mst)
+
+    def test_merge_keeps_bypassed_local_edge_out(self):
+        # Regression for the naive-contraction trap: the heavy local
+        # edge (0,1,10) is on shard {0,1}'s local MSF (it is that
+        # subgraph's only edge) but the global MST bypasses it through
+        # shard {2,3}.  Naive "contract local MSF, solve boundary"
+        # keeps it (weight 12); the correct answer is 3.
+        g = make_graph(4, [(0, 1, 10), (0, 2, 1), (1, 3, 1), (2, 3, 1)],
+                       name="bypass")
+        base = ecl_mst(g)
+        assert base.total_weight == 3
+        for strategy in ("contiguous", "hash"):
+            r = ecl_mst(g, shards=2, shard_strategy=strategy)
+            assert r.total_weight == 3
+            assert np.array_equal(r.in_mst, base.in_mst)
+
+    def test_sharded_result_verifies(self):
+        g = suite.build("internet", scale=SCALE)
+        r = ecl_mst(g, shards=4, verify=True)
+        verify_mst(r)  # idempotent, proves the mask is a real MSF
+
+    def test_shards_one_is_plain_single_device(self):
+        g = suite.build("internet", scale=SCALE)
+        r = ecl_mst(g, shards=1)
+        assert "shard" not in r.extra
+        assert r.algorithm == "ecl-mst"
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("n", [0, 1, 5])
+    def test_edgeless_graphs(self, n):
+        r = sharded_mst(empty_graph(n), shards=4)
+        assert r.num_mst_edges == 0
+        assert r.total_weight == 0
+        assert r.extra["shard"]["cut_edges"] == 0
+
+    def test_more_shards_than_vertices(self):
+        g = make_graph(3, [(0, 1, 4), (1, 2, 7)], name="tiny")
+        r = sharded_mst(g, shards=8)
+        assert r.total_weight == 11
+        assert r.num_mst_edges == 2
+
+    def test_disconnected_components(self):
+        edges = [(0, 1, 1), (1, 2, 2), (3, 4, 5), (4, 5, 6)]
+        g = make_graph(7, edges, name="forest")  # vertex 6 isolated
+        base = ecl_mst(g)
+        for strategy in ("contiguous", "hash"):
+            r = sharded_mst(g, shards=3, shard_strategy=strategy)
+            assert r.total_weight == base.total_weight == 14
+            assert r.num_mst_edges == base.num_mst_edges == 4
+            assert np.array_equal(r.in_mst, base.in_mst)
+
+
+# ----------------------------------------------------------------------
+# Cost accounting and the link model
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_linkspec_alpha_beta_pricing(self):
+        link = LinkSpec(name="test", latency_us=10.0, bandwidth_gbs=2.0)
+        assert link.transfer_seconds(0) == 0.0
+        assert link.transfer_seconds(-5) == 0.0
+        got = link.transfer_seconds(2_000_000_000)
+        assert got == pytest.approx(10e-6 + 1.0)
+
+    def test_default_link(self):
+        assert DEFAULT_LINK.name == "nvlink"
+        assert DEFAULT_LINK.transfer_seconds(1) > 0.0
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_exclusive_plus_comms_equals_total(self, shards):
+        g = suite.build("2d-2e20.sym", scale=SCALE)
+        r = ecl_mst(g, shards=shards)
+        assert _accounting_parts(r) == pytest.approx(
+            r.modeled_seconds, abs=1e-15)
+
+    def test_comms_priced_by_link(self):
+        g = suite.build("internet", scale=SCALE)
+        slow = LinkSpec(name="pcie", latency_us=50.0, bandwidth_gbs=1.0)
+        fast = sharded_mst_direct(g, shards=4)
+        slowed = sharded_mst_direct(g, shards=4, link=slow)
+        # Same computation, same bytes, pricier wire.
+        assert slowed.total_weight == fast.total_weight
+        assert (slowed.extra["shard"]["exchange_bytes"]
+                == fast.extra["shard"]["exchange_bytes"])
+        assert (slowed.extra["shard"]["comms_seconds"]
+                > fast.extra["shard"]["comms_seconds"])
+        assert slowed.extra["shard"]["link"]["name"] == "pcie"
+
+    def test_exchange_bytes_match_edges_shipped(self):
+        g = suite.build("internet", scale=SCALE)
+        r = sharded_mst_direct(g, shards=4)
+        sh = r.extra["shard"]
+        shipped = sum(
+            d["forest_edges"] + d["boundary_edges_sent"]
+            for d in sh["devices"]
+        )
+        assert sh["exchange_bytes"] == BYTES_PER_EDGE * shipped
+
+    def test_cut_appears_for_multi_shard(self):
+        g = suite.build("internet", scale=SCALE)
+        sh = ecl_mst(g, shards=4).extra["shard"]
+        assert sh["cut_edges"] > 0
+        assert 0.0 < sh["comms_time_share"] < 1.0
+        assert sh["imbalance"] >= 1.0
+        assert len(sh["devices"]) == 4
+
+
+# ----------------------------------------------------------------------
+# Observability surfaces
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_result_metrics_carry_shard_gauges(self):
+        g = suite.build("internet", scale=SCALE)
+        m = collect_result_metrics(ecl_mst(g, shards=4))
+        for name in ("shard.devices", "shard.imbalance", "shard.cut_edges",
+                     "shard.comms_seconds", "shard.comms_time_share"):
+            assert name in m, name
+        assert m["shard.devices"] == 4.0
+        assert m["shard.device.0.vertices"] > 0
+
+    def test_metric_directions(self):
+        assert metric_direction("shard.devices") == "info"
+        assert metric_direction("shard.device.2.local_seconds") == "info"
+        # A partitioner regression (bigger cut, worse balance) gates.
+        assert metric_direction("shard.cut_edges") == "lower"
+        assert metric_direction("shard.imbalance") == "lower"
+        assert metric_direction("shard.comms_time_share") == "lower"
+
+    def test_tracer_emits_shard_spans(self):
+        g = suite.build("internet", scale=SCALE)
+        tracer = Tracer()
+        ecl_mst(g, shards=2, tracer=tracer)
+        kinds = {s.kind for s in tracer.spans()}
+        assert "shard" in kinds
+        names = [s.name for s in tracer.spans(kind="shard")]
+        assert any(n.startswith("shard ") for n in names)
+        assert "boundary exchange" in names
+        assert "merge" in names
+
+
+# ----------------------------------------------------------------------
+# Fault injection across devices
+# ----------------------------------------------------------------------
+class TestShardedFaults:
+    def test_campaign_with_shards_passes(self):
+        from repro.resilience.campaign import run_campaign
+
+        g = suite.build("internet", scale=SCALE)
+        report = run_campaign(g, n_faults=6, seed=0, shards=4)
+        assert report.escaped == 0
+        assert report.injected >= 6
+
+    def test_fault_lands_on_one_device(self):
+        from repro.resilience.faults import FaultPlan
+        from repro.resilience.recovery import ResilienceConfig
+
+        g = suite.build("internet", scale=SCALE)
+        dry = ecl_mst(
+            g, shards=4, resilience=ResilienceConfig(),
+            fault_plan=FaultPlan(seed=3))
+        fi = dry.extra["fault_injection"]
+        assert fi["fault_shard"] == 3 % 4
+        plan = FaultPlan.generate(
+            seed=3, n_faults=1,
+            launches=fi["launches_seen"],
+            atomic_calls=fi["atomic_calls_seen"],
+            kinds=("bitflip-parent",))
+        r = ecl_mst(
+            g, shards=4, resilience=ResilienceConfig(), fault_plan=plan)
+        # Still the right answer, and the injection report names the
+        # device the plan was scoped to.
+        base = ecl_mst(g)
+        assert r.total_weight == base.total_weight
+        assert r.extra["fault_injection"]["fault_shard"] == 3 % 4
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+class TestServiceSharding:
+    def test_query_validation(self):
+        from repro.service import Query, QueryError
+
+        with pytest.raises(QueryError, match="shards"):
+            Query(input="internet", shards=-1)
+        with pytest.raises(QueryError, match="shard_strategy"):
+            Query(input="internet", shards=2, shard_strategy="metis")
+        with pytest.raises(QueryError, match="only to"):
+            Query(input="internet", shards=2, code="qKruskal")
+
+    def test_spec_key_distinguishes_shard_counts(self):
+        from repro.service import Query
+
+        a = Query(input="internet", shards=2)
+        b = Query(input="internet", shards=4)
+        c = Query(input="internet", shards=0)
+        d = Query(input="internet", shards=1)
+        assert a.spec_key() != b.spec_key()
+        # Unset (inheriting a single-device default) and explicit 1
+        # are the same computation.
+        assert c.spec_key() == d.spec_key()
+
+    def test_service_default_inherited_and_reported(self):
+        from repro.service import MSTService, Query, ServiceConfig
+
+        with MSTService(ServiceConfig(workers=1, shards=4)) as svc:
+            out = svc.run_batch(
+                [Query(input="internet", scale=SCALE)])[0]
+            status = svc.status()
+            metrics = svc.metrics()
+        assert out.ok
+        assert out.shard["shards"] == 4
+        assert out.shard["cut_edges"] > 0
+        assert status["shard"]["shards"] == 4
+        assert metrics["shard.devices"] == 4.0
+        assert metrics["shard.cut_edges"] > 0
+
+    def test_explicit_single_device_overrides_default(self):
+        from repro.service import MSTService, Query, ServiceConfig
+
+        with MSTService(ServiceConfig(workers=1, shards=4)) as svc:
+            out = svc.run_batch(
+                [Query(input="internet", scale=SCALE, shards=1)])[0]
+        assert out.ok
+        assert out.shard == {}
+
+    def test_sharded_matches_unsharded_through_service(self):
+        from repro.service import MSTService, Query, ServiceConfig
+
+        with MSTService(ServiceConfig(workers=1)) as svc:
+            plain, sharded = svc.run_batch([
+                Query(input="internet", scale=SCALE, id="p"),
+                Query(input="internet", scale=SCALE, id="s", shards=4),
+            ])
+        assert plain.ok and sharded.ok
+        assert sharded.total_weight == plain.total_weight
+        assert sharded.num_mst_edges == plain.num_mst_edges
+        assert sharded.mst_digest == plain.mst_digest
+
+    def test_outcome_shard_round_trips(self):
+        from repro.service import MSTService, Query, ServiceConfig
+        from repro.service.outcome import QueryOutcome
+
+        with MSTService(ServiceConfig(workers=1)) as svc:
+            out = svc.run_batch(
+                [Query(input="internet", scale=SCALE, shards=2)])[0]
+        doc = out.to_dict()
+        assert doc["shard"]["shards"] == 2
+        back = QueryOutcome.from_dict(doc)
+        assert back.shard == out.shard
+
+    def test_prometheus_exports_per_device_gauges(self):
+        from repro.service import MSTService, Query, ServiceConfig
+        from repro.service.admin import render_prometheus
+
+        with MSTService(ServiceConfig(workers=1, shards=2)) as svc:
+            svc.run_batch([Query(input="internet", scale=SCALE)])
+            body = render_prometheus(svc)
+        assert 'repro_shard_device_vertices{shard="0"}' in body
+        assert 'repro_shard_device_local_seconds{shard="1"}' in body

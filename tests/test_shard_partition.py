@@ -1,0 +1,143 @@
+"""Partitioners for the multi-device sharded engine.
+
+Covers the degenerate shapes the partitioner must survive without
+special-casing by the caller: empty graphs, a single vertex, more
+shards than vertices, zero-edge shards, and disconnected components
+split across shards — plus the load/cut statistics the metrics layer
+reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import empty_graph
+from repro.shard import (
+    PARTITION_STRATEGIES,
+    extract_shards,
+    partition_graph,
+)
+
+from helpers import make_graph
+
+STRATEGIES = list(PARTITION_STRATEGIES)
+
+
+def _path_graph(n, name="path"):
+    return make_graph(n, [(i, i + 1, 10 + i) for i in range(n - 1)], name=name)
+
+
+class TestPartitionAssignment:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_vertex_assigned_exactly_once(self, strategy):
+        g = _path_graph(40)
+        part = partition_graph(g, 4, strategy)
+        assert part.assignment.shape == (40,)
+        assert part.assignment.min() >= 0
+        assert part.assignment.max() < 4
+        assert part.n_shards == 4
+        assert part.strategy == strategy
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_loads_count_degrees(self, strategy):
+        g = _path_graph(12)
+        part = partition_graph(g, 3, strategy)
+        assert len(part.loads) == 3
+        # Each undirected edge contributes one degree at each endpoint.
+        assert sum(part.loads) == 2 * g.num_edges
+
+    def test_contiguous_assignment_is_monotone(self):
+        g = _path_graph(30)
+        part = partition_graph(g, 4, "contiguous")
+        assert np.all(np.diff(part.assignment) >= 0)
+
+    def test_unknown_strategy_rejected(self):
+        g = _path_graph(4)
+        with pytest.raises(ValueError):
+            partition_graph(g, 2, "metis")
+
+    def test_bad_shard_count_rejected(self):
+        g = _path_graph(4)
+        with pytest.raises(ValueError):
+            partition_graph(g, 0, "contiguous")
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_empty_graph(self, strategy):
+        g = empty_graph(0)
+        part = partition_graph(g, 2, strategy)
+        assert part.assignment.size == 0
+        assert part.cut_edges == 0
+        assert part.imbalance == 1.0
+        shards = extract_shards(g, part)
+        assert all(sg.graph.num_vertices == 0 for sg in shards)
+        assert all(sg.graph.num_edges == 0 for sg in shards)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_single_vertex(self, strategy):
+        g = empty_graph(1)
+        part = partition_graph(g, 2, strategy)
+        shards = extract_shards(g, part)
+        assert sum(sg.graph.num_vertices for sg in shards) == 1
+        assert all(sg.graph.num_edges == 0 for sg in shards)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_more_shards_than_vertices(self, strategy):
+        g = _path_graph(3)
+        part = partition_graph(g, 8, strategy)
+        assert part.n_shards == 8
+        shards = extract_shards(g, part)
+        # Every shard slot exists (some with zero vertices); the
+        # vertices that exist are all covered exactly once.
+        assert len(shards) == 8
+        total = sum(sg.graph.num_vertices for sg in shards)
+        assert total == 3
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_zero_edge_shard(self, strategy):
+        # Isolated vertices produce shards with vertices but no
+        # internal edges; extraction must keep them solvable.
+        g = make_graph(6, [(0, 1, 5)], name="sparse")
+        part = partition_graph(g, 3, strategy)
+        shards = extract_shards(g, part)
+        assert sum(sg.graph.num_vertices for sg in shards) == 6
+        assert sum(sg.graph.num_edges for sg in shards) <= 1
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_disconnected_components_split_across_shards(self, strategy):
+        # Two triangles with no edge between them: the cut may or may
+        # not be empty depending on where the partition falls, but
+        # internal + cut edges always account for every edge.
+        edges = [(0, 1, 1), (1, 2, 2), (0, 2, 3),
+                 (3, 4, 1), (4, 5, 2), (3, 5, 3)]
+        g = make_graph(6, edges, name="two-triangles")
+        part = partition_graph(g, 2, strategy)
+        shards = extract_shards(g, part)
+        internal = sum(sg.graph.num_edges for sg in shards)
+        assert internal + part.cut_edges == g.num_edges
+
+
+class TestShardGraphMapping:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_eid_map_round_trips_weights(self, strategy):
+        g = _path_graph(20)
+        part = partition_graph(g, 3, strategy)
+        gu, gv, gw, geid = g.undirected_edges()
+        by_eid = {int(e): (int(a), int(b), int(c))
+                  for a, b, c, e in zip(gu, gv, gw, geid)}
+        for sg in extract_shards(g, part):
+            lu, lv, lw, leid = sg.graph.undirected_edges()
+            for a, b, c, e in zip(lu, lv, lw, leid):
+                # Each local edge maps back onto the global edge with
+                # the same endpoints (translated) and weight.
+                ga, gb, gc = by_eid[int(sg.eid_map[int(e)])]
+                assert {int(sg.vertices[a]), int(sg.vertices[b])} == {ga, gb}
+                assert int(c) == gc
+
+    def test_imbalance_statistic(self):
+        # A star graph partitioned contiguously puts nearly all degree
+        # on the hub's shard: imbalance must be well above 1.
+        g = make_graph(9, [(0, i, i) for i in range(1, 9)], name="star")
+        part = partition_graph(g, 4, "contiguous")
+        assert part.imbalance >= 1.0
+        assert max(part.loads) == round(part.imbalance * (sum(part.loads) / 4))
