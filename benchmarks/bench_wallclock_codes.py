@@ -2,7 +2,14 @@
 
 The paper tables compare *modeled* device times; this module times the
 actual NumPy implementations (useful for tracking regressions in this
-repository, not for GPU-vs-CPU claims).
+repository, not for GPU-vs-CPU claims).  Two regimes:
+
+* **codes** — every registered MST code on one representative graph.
+* **engines** — the scalar-vs-vectorized union-executor head-to-head,
+  which also writes a ``BENCH_WALL_<stamp>.json`` trajectory entry
+  (schema ``repro.bench.wall/v1``, same format as ``repro-mst perf
+  wall``) to ``benchmarks/out/`` so a benchmark run leaves the engine
+  trajectory on disk alongside the paper artifacts.
 """
 
 import pytest
@@ -15,6 +22,8 @@ from repro.baselines import (
     prim_mst,
     uminho_gpu_mst,
 )
+from repro.bench.gate import WallCell, record_wall_trajectory
+from repro.core.config import EclMstConfig
 from repro.core.eclmst import ecl_mst
 
 RUNNERS = {
@@ -27,6 +36,12 @@ RUNNERS = {
     "prim": prim_mst,
 }
 
+ENGINES = ("vectorized", "scalar")
+
+# Engine head-to-head rows: one union-heavy mesh (where batching wins
+# big) and one skewed scale-free graph (the honest worst case).
+ENGINE_GRAPHS = ("USA-road-d.NY", "rmat22.sym")
+
 
 @pytest.mark.parametrize("name", RUNNERS, ids=list(RUNNERS))
 def test_wallclock(benchmark, name, suite_graphs):
@@ -34,3 +49,32 @@ def test_wallclock(benchmark, name, suite_graphs):
     runner = RUNNERS[name]
     r = benchmark.pedantic(lambda: runner(g), rounds=3, iterations=1)
     assert r.num_mst_edges > 0
+
+
+@pytest.mark.parametrize("graph_name", ENGINE_GRAPHS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wallclock_engines(benchmark, engine, graph_name, suite_graphs):
+    g = suite_graphs[graph_name]
+    cfg = EclMstConfig(engine=engine)
+    r = benchmark.pedantic(lambda: ecl_mst(g, cfg), rounds=3, iterations=1)
+    assert r.num_mst_edges > 0
+
+
+def test_engine_trajectory_entry(bench_scale, out_dir):
+    """Record the head-to-head as a BENCH_WALL trajectory entry.
+
+    Gate-free here (``min_speedup=0, floor=0``): this run's job is the
+    honest record; `repro-mst perf wall` / CI enforce the bars.
+    """
+    cells = tuple(
+        WallCell(name, scale=bench_scale * 4) for name in ENGINE_GRAPHS
+    )
+    path, payload = record_wall_trajectory(
+        cells,
+        repeats=3,
+        trajectory_dir=out_dir,
+        min_speedup=0.0,
+        floor=0.0,
+    )
+    assert path.exists()
+    assert payload["gate"]["passed"]

@@ -11,7 +11,12 @@ Workflow (surfaced as ``repro-mst perf record|compare|check``):
 * :func:`perf_check` re-runs and returns a :class:`GateReport` whose
   ``passed`` gates CI: modeled metrics compare exactly (deterministic
   cost model), wall-clock medians are advisory against the stored
-  median+MAD band.
+  median+MAD band — or gating with ``gate_wall=True`` against fresh
+  same-machine baselines.
+* :func:`record_wall_trajectory` measures the scalar-vs-vectorized
+  execution-engine head-to-head on identical graphs and appends a
+  ``BENCH_WALL_<stamp>.json`` entry, so host wall-clock becomes a
+  first-class, gated trajectory next to the modeled one.
 
 ``slowdown`` scales every hardware rate via
 :meth:`~repro.gpusim.spec.GPUSpec.slowed` — the synthetic cost-model
@@ -41,12 +46,18 @@ __all__ = [
     "DEFAULT_GATE_INPUTS",
     "DEFAULT_GATE_SCALE",
     "DEFAULT_REPEATS",
+    "DEFAULT_WALL_CELLS",
+    "DEFAULT_WALL_REPEATS",
+    "DEFAULT_MIN_SPEEDUP",
     "BASELINE_DIR",
     "TRAJECTORY_DIR",
     "GateReport",
+    "WallCell",
     "perf_check",
     "perf_compare",
     "perf_record",
+    "record_wall_trajectory",
+    "render_wall_report",
 ]
 
 # Two structurally different small suite inputs: a scale-free topology
@@ -215,8 +226,14 @@ def perf_check(
     store_dir: str | Path = BASELINE_DIR,
     slowdown: float = 1.0,
     threshold: float = 1.0,
+    gate_wall: bool = False,
 ) -> GateReport:
-    """Re-run the gate inputs and compare each against its baseline."""
+    """Re-run the gate inputs and compare each against its baseline.
+
+    ``gate_wall`` promotes the wall-clock band from advisory to gating;
+    only sound against baselines recorded on this same machine (CI
+    records fresh on-runner baselines immediately before checking).
+    """
     store = BaselineStore(store_dir)
     sysspec = _system(system)
     report = GateReport()
@@ -234,9 +251,177 @@ def perf_check(
             slowdown=slowdown,
         )
         report.comparisons.append(
-            compare_to_baseline(baseline, profile, walls, threshold=threshold)
+            compare_to_baseline(
+                baseline,
+                profile,
+                walls,
+                threshold=threshold,
+                gate_wall=gate_wall,
+            )
         )
     return report
+
+
+WALL_SCHEMA = "repro.bench.wall/v1"
+
+
+@dataclass(frozen=True)
+class WallCell:
+    """One engine head-to-head measurement cell.
+
+    ``gated`` marks the union-heavy flagships whose scalar/vectorized
+    speedup must clear ``min_speedup`` for the wall gate to pass; the
+    remaining cells are recorded for the honest trajectory but only
+    enforce that the vectorized engine is not slower than ``floor``.
+    """
+
+    input: str
+    scale: float
+    gated: bool = False
+
+
+# Union-heavy graphs (road, grid meshes) carry the per-winner union
+# cost the vectorized engine batches away, so they gate; the scale-free
+# rows are contention-bound and ride along as honest context.
+DEFAULT_WALL_CELLS: tuple[WallCell, ...] = (
+    WallCell("USA-road-d.NY", 32.0, gated=True),
+    WallCell("2d-2e20.sym", 16.0),
+    WallCell("internet", 16.0),
+    WallCell("rmat22.sym", 8.0),
+)
+DEFAULT_WALL_REPEATS = 5
+DEFAULT_MIN_SPEEDUP = 3.0
+WALL_FLOOR = 0.8
+
+
+def record_wall_trajectory(
+    cells: tuple[WallCell, ...] = DEFAULT_WALL_CELLS,
+    *,
+    system: int = 2,
+    repeats: int = DEFAULT_WALL_REPEATS,
+    seed: int = 7,
+    trajectory_dir: str | Path = TRAJECTORY_DIR,
+    stamp: str | None = None,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    floor: float = WALL_FLOOR,
+) -> tuple[Path, dict]:
+    """Measure the scalar-vs-vectorized engine head-to-head and append a
+    ``BENCH_WALL_<stamp>.json`` trajectory entry.
+
+    Both engines run the identical solver build on the identical graph,
+    so the speedup column isolates the execution-engine change; the
+    modeled results are asserted equal while measuring, which makes
+    every recorded speedup a like-for-like number by construction.
+    Returns ``(path, payload)``; ``payload["gate"]["passed"]`` is the
+    wall-gate verdict (gated cells clear ``min_speedup``, every cell
+    clears ``floor``).
+    """
+    from ..core.config import EclMstConfig
+    from ..core.eclmst import ecl_mst
+
+    sysspec = _system(system)
+    recorded_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    entries: list[dict] = []
+    for cell in cells:
+        graph = suite.build(cell.input, scale=cell.scale, seed=seed)
+        medians: dict[str, float] = {}
+        mads: dict[str, float] = {}
+        modeled: dict[str, float] = {}
+        weight: dict[str, int] = {}
+        for engine in ("vectorized", "scalar"):
+            cfg = EclMstConfig(engine=engine)
+            # One untimed warmup per engine: first-call costs (deferred
+            # imports, allocator growth) would otherwise shift every
+            # early sample and bias the median.  Both engines get the
+            # same treatment, so the speedup stays like-for-like.
+            result = ecl_mst(graph, cfg, gpu=sysspec.gpu)
+            walls: list[float] = []
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                result = ecl_mst(graph, cfg, gpu=sysspec.gpu)
+                walls.append(time.perf_counter() - t0)
+            stats = WallStats(samples=walls)
+            medians[engine] = stats.median
+            mads[engine] = stats.mad
+            modeled[engine] = float(result.modeled_seconds)
+            weight[engine] = int(result.total_weight)
+        if modeled["vectorized"] != modeled["scalar"] or (
+            weight["vectorized"] != weight["scalar"]
+        ):
+            raise AssertionError(
+                f"engines diverged on {cell.input}: the head-to-head is "
+                "only meaningful while both engines are bit-identical"
+            )
+        speedup = (
+            medians["scalar"] / medians["vectorized"]
+            if medians["vectorized"] > 0
+            else float("inf")
+        )
+        entries.append(
+            {
+                "input": cell.input,
+                "scale": cell.scale,
+                "gated": cell.gated,
+                "wall_median_s": {
+                    "vectorized": medians["vectorized"],
+                    "scalar": medians["scalar"],
+                },
+                "wall_mad_s": {
+                    "vectorized": mads["vectorized"],
+                    "scalar": mads["scalar"],
+                },
+                "modeled_seconds": modeled["vectorized"],
+                "speedup": speedup,
+            }
+        )
+    gated = [e for e in entries if e["gated"]]
+    passed = all(e["speedup"] >= min_speedup for e in gated) and all(
+        e["speedup"] >= floor for e in entries
+    )
+    payload = {
+        "schema": WALL_SCHEMA,
+        "recorded_at": recorded_at,
+        "system": system,
+        "repeats": repeats,
+        "seed": seed,
+        "gate": {
+            "min_speedup": min_speedup,
+            "floor": floor,
+            "passed": passed,
+        },
+        "entries": entries,
+    }
+    trajectory = Path(trajectory_dir)
+    trajectory.mkdir(parents=True, exist_ok=True)
+    path = trajectory / f"BENCH_WALL_{stamp or _utc_stamp()}.json"
+    import json
+
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path, payload
+
+
+def render_wall_report(payload: dict) -> str:
+    """Human-readable table for one BENCH_WALL payload."""
+    lines = [
+        f"engine head-to-head (system {payload['system']}, "
+        f"{payload['repeats']} repeats)"
+    ]
+    for e in payload["entries"]:
+        med = e["wall_median_s"]
+        tag = "GATED" if e["gated"] else "     "
+        lines.append(
+            f"  {tag} {e['input']:16s} x{e['scale']:<5g} "
+            f"vectorized {med['vectorized'] * 1e3:8.1f} ms   "
+            f"scalar {med['scalar'] * 1e3:8.1f} ms   "
+            f"speedup {e['speedup']:5.2f}x"
+        )
+    gate = payload["gate"]
+    lines.append(
+        f"wall gate: {'PASS' if gate['passed'] else 'FAIL'} "
+        f"(gated cells >= {gate['min_speedup']:.2f}x, "
+        f"all cells >= {gate['floor']:.2f}x)"
+    )
+    return "\n".join(lines)
 
 
 def perf_compare(

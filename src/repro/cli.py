@@ -413,9 +413,49 @@ def _cmd_perf(args) -> int:
         store_dir=args.store,
         slowdown=args.slowdown,
         threshold=args.threshold,
+        gate_wall=getattr(args, "gate_wall", False),
     )
     print(report.render())
     return 0 if report.passed else 1
+
+
+def _parse_wall_cells(text: str):
+    from .bench.gate import WallCell
+
+    cells = []
+    for part in _split_inputs(text):
+        fields = part.split(":")
+        if len(fields) < 2:
+            raise SystemExit(
+                f"bad wall cell {part!r}; expected input:scale[:gated]"
+            )
+        cells.append(
+            WallCell(
+                input=fields[0],
+                scale=float(fields[1]),
+                gated=len(fields) > 2 and fields[2] == "gated",
+            )
+        )
+    return tuple(cells)
+
+
+def _cmd_perf_wall(args) -> int:
+    from .bench import gate
+
+    path, payload = gate.record_wall_trajectory(
+        _parse_wall_cells(args.cells),
+        system=args.system,
+        repeats=args.repeats,
+        seed=args.seed,
+        trajectory_dir=args.trajectory,
+        min_speedup=args.min_speedup,
+        floor=args.floor,
+    )
+    print(gate.render_wall_report(payload))
+    print(f"trajectory entry: {path}")
+    if args.no_gate:
+        return 0
+    return 0 if payload["gate"]["passed"] else 1
 
 
 def _policy_from_args(args):
@@ -456,6 +496,7 @@ def _service_from_args(args):
             max_queue_depth=args.queue_depth,
             default_timeout_s=args.timeout,
             shards=getattr(args, "shards", 1),
+            engine=getattr(args, "engine", "vectorized"),
             # Admin endpoints imply profile retention (/profilez).
             keep_profile=getattr(args, "admin_port", None) is not None,
             policy=_policy_from_args(args),
@@ -581,11 +622,13 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_mst(args) -> int:
+    from .core.config import EclMstConfig
     from .core.eclmst import ecl_mst
 
     g = _resolve_input(args.graph, args.scale)
     r = ecl_mst(
         g,
+        EclMstConfig(engine=args.engine),
         verify=args.verify,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
@@ -804,6 +847,13 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="shard_strategy",
         help="vertex partitioner for --shards > 1",
     )
+    p_mst.add_argument(
+        "--engine",
+        choices=("vectorized", "scalar"),
+        default="vectorized",
+        help="union executor: batched waves or the reference "
+        "one-entry-at-a-time walk (bit-identical results)",
+    )
     p_mst.set_defaults(fn=_cmd_mst)
 
     p_chaos = sub.add_parser(
@@ -1011,6 +1061,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="default simulated-device count for queries that "
             "don't set their own 'shards' (1 = single-GPU)",
         )
+        p.add_argument(
+            "--engine",
+            choices=("vectorized", "scalar"),
+            default="vectorized",
+            help="default union executor for queries that don't set "
+            "their own 'engine' (results are bit-identical)",
+        )
         # Overload-safety policy knobs (all off by default; any nonzero/
         # true knob arms the serving policy, which needs --pool thread).
         p.add_argument(
@@ -1172,8 +1229,12 @@ def _build_parser() -> argparse.ArgumentParser:
         BASELINE_DIR,
         DEFAULT_GATE_INPUTS,
         DEFAULT_GATE_SCALE,
+        DEFAULT_MIN_SPEEDUP,
         DEFAULT_REPEATS,
+        DEFAULT_WALL_CELLS,
+        DEFAULT_WALL_REPEATS,
         TRAJECTORY_DIR,
+        WALL_FLOOR,
     )
 
     p_perf = sub.add_parser(
@@ -1240,6 +1301,53 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="bad-direction ratio tolerated (1.0 = exact compare)",
     )
+    p_chk.add_argument(
+        "--gate-wall",
+        action="store_true",
+        dest="gate_wall",
+        help="fail on wall-band escapes too (use against fresh "
+        "same-machine baselines, e.g. recorded earlier in the CI job)",
+    )
+
+    p_wall = perf_sub.add_parser(
+        "wall",
+        help="scalar-vs-vectorized engine head-to-head; writes a "
+        "BENCH_WALL_<stamp>.json trajectory entry",
+    )
+    p_wall.add_argument(
+        "--cells",
+        default=",".join(
+            f"{c.input}:{c.scale:g}{':gated' if c.gated else ''}"
+            for c in DEFAULT_WALL_CELLS
+        ),
+        help="comma-separated input:scale[:gated] cells",
+    )
+    p_wall.add_argument("--system", type=int, choices=(1, 2), default=2)
+    p_wall.add_argument(
+        "--repeats", type=int, default=DEFAULT_WALL_REPEATS
+    )
+    p_wall.add_argument("--seed", type=int, default=7)
+    p_wall.add_argument("--trajectory", default=TRAJECTORY_DIR)
+    p_wall.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        dest="min_speedup",
+        help="required scalar/vectorized speedup on gated cells",
+    )
+    p_wall.add_argument(
+        "--floor",
+        type=float,
+        default=WALL_FLOOR,
+        help="minimum speedup every cell (gated or not) must clear",
+    )
+    p_wall.add_argument(
+        "--no-gate",
+        action="store_true",
+        dest="no_gate",
+        help="record the trajectory entry but always exit zero",
+    )
+    p_wall.set_defaults(fn=_cmd_perf_wall)
 
     # The event-log flags also parse *after* the subcommand name
     # (`repro-mst serve ... --log-json events.ndjson`), not just before.

@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["EclMstConfig", "deopt_stages", "DEOPT_STAGE_NAMES"]
+__all__ = ["ENGINES", "EclMstConfig", "deopt_stages", "DEOPT_STAGE_NAMES"]
+
+# Host execution engines for the solver hot paths (not an ablation
+# axis: both engines model the identical GPU and price identically).
+ENGINES: tuple[str, ...] = ("vectorized", "scalar")
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,15 @@ class EclMstConfig:
         Number of sampled edge weights (the paper uses 20).
     seed:
         RNG seed for the filter sampling (the §5.4 seed study).
+    engine:
+        Host execution engine for the union hot path of Kernel 2:
+        ``"vectorized"`` (the default) resolves winner roots with
+        batched pointer jumping and applies links through an iterative
+        conflict-free pass that reproduces the worklist-order
+        serialization; ``"scalar"`` is the original per-winner Python
+        loop, kept as the differential-testing oracle.  The two are
+        bit-identical — same MSF, same kernel counters, same modeled
+        seconds — and differ only in host wall-clock.
     """
 
     atomic_guards: bool = True
@@ -75,6 +88,14 @@ class EclMstConfig:
     filter_c: float = 4.0
     filter_samples: int = 20
     seed: int = 0
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from "
+                f"{', '.join(ENGINES)}"
+            )
 
     def with_(self, **kw) -> "EclMstConfig":
         """Functional update (``dataclasses.replace`` shorthand)."""

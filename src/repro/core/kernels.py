@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..dsu.vectorized import compress_halving_many, find_many
+from ..dsu.vectorized import compress_halving_many, find_many, resolve_roots
+from ..errors import InvariantViolation
 from ..graph.csr import CSRGraph
 from ..gpusim.atomics import KEY_INFINITY, atomic_min_u64, pack_keys
 from ..gpusim.costmodel import Device
@@ -33,6 +34,7 @@ from ..gpusim.warp import (
     thread_mode_cycles,
 )
 from . import costs
+from .arena import ScratchArena
 from .config import EclMstConfig
 from .worklist import EdgeList, Worklist
 
@@ -50,11 +52,30 @@ class MstState:
     min_edge: np.ndarray
     in_mst: np.ndarray
     wl: Worklist = field(default_factory=Worklist)
+    # Per-run scratch buffer pool: round-local arrays (cross masks,
+    # packed keys, conflict tables) reuse the previous round's storage
+    # instead of churning the allocator.
+    arena: ScratchArena = field(default_factory=ScratchArena)
     # Representatives computed by the most recent k1/k2, reused by the
     # next kernel in the same round (the real code re-derives them from
     # the worklist entries themselves under implicit path compression).
     _round_p: np.ndarray | None = None
     _round_q: np.ndarray | None = None
+    # Packed (weight << 32 | edge-ID) keys of the entries k2 will see,
+    # computed by this round's k1 so k2 skips a full re-pack.  Keyed by
+    # the identity of the front's eid column, so a refilled or restored
+    # front can never match stale keys.
+    _round_val: np.ndarray | None = None
+    _round_val_key: np.ndarray | None = None
+    # Cached per-vertex entry counts keyed by worklist-column identity:
+    # k1/k2/k3 price vertex-centric loops over the same column, and the
+    # topology-driven loop re-presents the identical arrays each round.
+    _vcount_key: np.ndarray | None = None
+    _vcount: np.ndarray | None = None
+    # int64 views of the CSR edge columns plus the expanded source
+    # column, materialized once per run: the init kernel runs twice
+    # under filtering and these conversions are full-edge-list copies.
+    _init_cols: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def create(cls, graph: CSRGraph, config: EclMstConfig, device: Device) -> "MstState":
@@ -67,6 +88,40 @@ class MstState:
             min_edge=np.full(n, KEY_INFINITY, dtype=np.uint64),
             in_mst=np.zeros(graph.num_edges, dtype=bool),
         )
+
+    # ------------------------------------------------------------------
+    def init_columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(src, dst, w, eid)`` int64 edge columns, cached per run."""
+        if self._init_cols is None:
+            g = self.graph
+            self._init_cols = (
+                g.edge_sources().astype(np.int64),
+                g.col_idx.astype(np.int64),
+                g.weights.astype(np.int64),
+                g.edge_ids.astype(np.int64),
+            )
+        return self._init_cols
+
+    # ------------------------------------------------------------------
+    def vertex_counts(self, v: np.ndarray) -> np.ndarray:
+        """Per-vertex occurrence counts of worklist column ``v``.
+
+        Cached by array identity: k1's critical-path accounting and the
+        vertex-centric loop pricing in k1/k2/k3 all count the same
+        column, and the topology-driven loop re-presents the identical
+        arrays every round — one bincount serves them all.  The cache
+        holds a reference to the keyed array, so an ``is`` hit can
+        never alias a recycled id.
+        """
+        if self._vcount_key is not v:
+            self._vcount = np.bincount(
+                v, minlength=self.graph.num_vertices
+            )
+            self._vcount_key = v
+        assert self._vcount is not None
+        return self._vcount
 
     # ------------------------------------------------------------------
     def find_entries(self, xs: np.ndarray) -> tuple[np.ndarray, int, int]:
@@ -128,7 +183,7 @@ def _entry_loop_cycles(state: MstState, v_entries: np.ndarray, per_item: float) 
         return edge_centric_cycles(int(v_entries.size), per_item)
     if v_entries.size == 0:
         return 0.0
-    counts = np.bincount(v_entries, minlength=state.graph.num_vertices)
+    counts = state.vertex_counts(v_entries)
     if cfg.hybrid_parallelization:
         return hybrid_cycles(counts, per_item)
     return thread_mode_cycles(counts, per_item)
@@ -151,10 +206,7 @@ def kernel_init_populate(
     Returns the number of entries appended.
     """
     g, cfg, dev = state.graph, state.config, state.device
-    src = g.edge_sources().astype(np.int64)
-    dst = g.col_idx.astype(np.int64)
-    w = g.weights.astype(np.int64)
-    eid = g.edge_ids.astype(np.int64)
+    src, dst, w, eid = state.init_columns()
 
     if cfg.single_direction:
         mask = src < dst
@@ -166,7 +218,8 @@ def kernel_init_populate(
         else:
             mask &= w >= threshold
 
-    v_sel, n_sel, w_sel, e_sel = src[mask], dst[mask], w[mask], eid[mask]
+    sel = np.flatnonzero(mask)
+    v_sel, n_sel, w_sel, e_sel = src[sel], dst[sel], w[sel], eid[sel]
     find_loads = 0
     if phase == 2:
         # Filtering: replace endpoints by representatives and drop the
@@ -174,12 +227,12 @@ def kernel_init_populate(
         p, lp, _ = state.find_entries(v_sel)
         q, lq, _ = state.find_entries(n_sel)
         find_loads = lp + lq
-        cross = p != q
+        keep = np.flatnonzero(p != q)
         if cfg.implicit_path_compression:
-            v_sel, n_sel = p[cross], q[cross]
+            v_sel, n_sel = p[keep], q[keep]
         else:
-            v_sel, n_sel = v_sel[cross], n_sel[cross]
-        w_sel, e_sel = w_sel[cross], e_sel[cross]
+            v_sel, n_sel = v_sel[keep], n_sel[keep]
+        w_sel, e_sel = w_sel[keep], e_sel[keep]
 
     entries = EdgeList(v_sel, n_sel, w_sel, e_sel)
     state.wl.fill_front(entries)
@@ -244,20 +297,38 @@ def kernel1_reserve(state: MstState) -> int:
     q, loads_n, writes_n = state.find_entries(wl.n)
     loads = loads_v + loads_n
 
-    cross = p != q
-    survivors = int(np.count_nonzero(cross))
-    pc, qc = p[cross], q[cross]
-    wc, ec = wl.w[cross], wl.eid[cross]
+    cross = np.not_equal(
+        p, q, out=state.arena.take("k1.cross", p.size, np.bool_)
+    )
+    # One index vector, then integer takes: every boolean gather would
+    # re-scan the mask, and this mask is applied up to six times.
+    sel = np.flatnonzero(cross)
+    survivors = int(sel.size)
+    pc, qc = p[sel], q[sel]
+    wc, ec = wl.w[sel], wl.eid[sel]
 
     if cfg.implicit_path_compression:
         # Line 18: store representatives in lieu of the endpoints.
         new_entries = EdgeList(pc, qc, wc, ec)
     else:
-        new_entries = EdgeList(wl.v[cross], wl.n[cross], wc, ec)
+        new_entries = EdgeList(wl.v[sel], wl.n[sel], wc, ec)
     if cfg.data_driven:
         state.wl.append_back(new_entries)
 
-    val = pack_keys(wc, ec)
+    if cfg.data_driven:
+        val = pack_keys(
+            wc, ec, out=state.arena.take("k1.val", survivors, np.uint64)
+        )
+        # After the swap the surviving (w, eid) columns *are* the front
+        # k2 sees this round, so k2 can reuse the packed keys verbatim.
+        state._round_val, state._round_val_key = val, ec
+    else:
+        # Topology-driven: the front is the identical full edge list
+        # every round, so its packed keys are loop-invariant.
+        if state._round_val_key is not wl.eid:
+            state._round_val = pack_keys(wl.w, wl.eid)
+            state._round_val_key = wl.eid
+        val = state._round_val[sel]
     inj = dev.fault_injector
     ex_p, sk_p = atomic_min_u64(
         state.min_edge, pc, val, guarded=cfg.atomic_guards, injector=inj
@@ -271,12 +342,18 @@ def kernel1_reserve(state: MstState) -> int:
     # guards only the running-minima execute (harmonic expectation);
     # without, every lane targeting the slot issues its atomic.
     if survivors:
-        hot = int(
-            max(
-                np.bincount(pc, minlength=state.graph.num_vertices).max(),
-                np.bincount(qc, minlength=state.graph.num_vertices).max(),
-            )
-        )
+        # One pass over the survivor subset instead of two full-width
+        # bincounts: tagging the two endpoint columns into disjoint key
+        # spaces makes a single unique() yield both per-side counts,
+        # whose overall max is exactly max(bincount(pc), bincount(qc)).
+        tagged = state.arena.take("k1.tagged", 2 * survivors)
+        np.multiply(pc, 2, out=tagged[:survivors])
+        np.multiply(qc, 2, out=tagged[survivors:])
+        tagged[survivors:] += 1
+        if survivors * 16 >= state.graph.num_vertices:
+            hot = int(np.bincount(tagged).max())
+        else:
+            hot = int(np.unique(tagged, return_counts=True)[1].max())
         contention = (
             int(np.ceil(np.log(hot) + 0.5772)) if cfg.atomic_guards else hot
         )
@@ -304,8 +381,8 @@ def kernel1_reserve(state: MstState) -> int:
     )
     critical = 0
     if not cfg.edge_centric and n_items:
-        counts = np.bincount(wl.v, minlength=state.graph.num_vertices)
-        critical = int(counts.max())
+        # Shares the identity-cached bincount with the loop pricing.
+        critical = int(state.vertex_counts(wl.v).max())
     dev.launch(
         "k1_reserve",
         items=n_items,
@@ -337,14 +414,253 @@ def _find_root(parent: np.ndarray, x: int) -> tuple[int, int]:
         if loads > parent.size + 1:
             # Only corrupted parent pointers can cycle; surface a typed
             # violation the recovery ladder understands.
-            from ..errors import InvariantViolation
-
             raise InvariantViolation(
                 "parent-pointer cycle detected during union find",
                 invariant="parent-acyclic",
                 kernel="k2_union",
             )
     return x, loads
+
+
+def _union_scalar(
+    state: MstState,
+    p: np.ndarray,
+    q: np.ndarray,
+    eids: np.ndarray,
+    win_idx: np.ndarray,
+) -> tuple[int, int, int, int]:
+    """Per-winner union loop in worklist order (the reference oracle).
+
+    Returns ``(cas_attempts, union_loads, added, mirror_dups)``.
+    """
+    parent = state.parent
+    cas_attempts = 0
+    union_loads = 0
+    added = 0
+    mirror_dups = 0
+    for i in win_idx:
+        a, la = _find_root(parent, int(p[i]))
+        b, lb = _find_root(parent, int(q[i]))
+        union_loads += la + lb
+        cas_attempts += 1
+        if a == b:
+            # Only possible for a mirrored duplicate of an edge already
+            # committed this round (the "Both Edge Directions" variant).
+            mirror_dups += 1
+            continue
+        lo, hi = (a, b) if a < b else (b, a)
+        parent[hi] = lo
+        eid = int(eids[i])
+        if not state.in_mst[eid]:
+            state.in_mst[eid] = True
+            added += 1
+    return cas_attempts, union_loads, added, mirror_dups
+
+
+_NO_WRITER = np.iinfo(np.int64).max
+
+
+def _winner_components(
+    state: "MstState", ra: np.ndarray, rb: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Label each pending winner with its root-pair-graph component.
+
+    Blocking can only propagate along chains of winners that share
+    roots (transitively): a winner's eventual link always targets a
+    root inside its connected component of the pending root-pair
+    graph.  The labels are computed *once* per union call — links
+    never leave their component, so a winner's label stays valid for
+    every later wave even as its resolved roots move.
+
+    The label graph is compacted to the pending roots through a dirty
+    arena mark/map table pair (no sort, no ``unique``) so scipy's
+    component run scales with the winner count, not ``|V|``.  The
+    mark table's all-``False`` invariant is restored before returning,
+    which is what makes it reusable without a per-call memset.
+    """
+    # Deferred import: keeps scipy off the package-import path.
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    mark = state.arena.take(
+        "k2.mark", state.graph.num_vertices, np.bool_, fill_new=False
+    )
+    mark[ra] = True
+    mark[rb] = True
+    nodes = np.flatnonzero(mark)
+    mark[nodes] = False
+    cmap = state.arena.take("k2.cmap", state.graph.num_vertices)
+    cmap[nodes] = np.arange(nodes.size, dtype=np.int64)
+    ia = cmap[ra]
+    ib = cmap[rb]
+    g = coo_matrix(
+        (np.ones(ra.size, dtype=np.int8), (ia, ib)),
+        shape=(nodes.size, nodes.size),
+    )
+    ncomp, labels = connected_components(g, directed=False)
+    return labels[ia], int(ncomp)
+
+
+def _union_batched(
+    state: MstState,
+    p: np.ndarray,
+    q: np.ndarray,
+    eids: np.ndarray,
+    win_idx: np.ndarray,
+) -> tuple[int, int, int, int]:
+    """Vectorized union engine, bit-identical to :func:`_union_scalar`.
+
+    The scalar loop serializes winners in worklist order: winner ``i``
+    resolves both roots *after* winners ``< i`` have applied their
+    links, and the cost model charges its actual pointer walks.  The
+    batched engine reproduces that serialization exactly with
+    per-component prefix-commit waves:
+
+    * resolve all pending winners' roots at once (batched pointer
+      jumping with per-lane hop counts);
+    * a winner is *blocked* when an earlier pending winner's tentative
+      link rewrites one of its resolved roots (``first`` maps each
+      would-be-overwritten root to the earliest such writer);
+    * every link — tentative or eventual — stays inside the connected
+      component of the pending winner-root graph that spawned it, so
+      blocking cannot cross components.  Each component therefore
+      commits its winners up to its own first blocked one, all in one
+      conflict-free scatter (a duplicate target root would have
+      blocked), and defers the rest to the next wave, resuming each
+      deferred walk from its already-resolved root so hop counts stay
+      additive and exact.  Component labels are computed lazily, at
+      most once per call (:func:`_winner_components`) — links never
+      leave their component, so the labels survive every wave.
+
+    Why a committed winner matches the sequential loop bit for bit:
+    mid-path nodes are never roots and links only ever target
+    wave-start roots, so its resolved parent chain is untouched by
+    earlier commits (same component ⇒ it would have been blocked;
+    different component ⇒ disjoint roots).  A deferred winner's
+    *eventual* link can differ from its tentative one, which is
+    exactly why everything after a component's first blocked winner
+    waits.  Each component's earliest pending winner is never blocked,
+    so every wave drains every component by at least one winner and
+    the loop terminates.  Loads follow the scalar convention (path
+    length + 1 per endpoint): ``total hops + 2 per winner``.
+    """
+    m = int(win_idx.size)
+    if m <= 64:
+        # Batch overheads beat the loop only past a few dozen winners;
+        # the reference loop is exact by definition.
+        return _union_scalar(state, p, q, eids, win_idx)
+    parent = state.parent
+    in_mst = state.in_mst
+    # first[x]: earliest pending winner whose tentative link would
+    # overwrite root x this wave.  The table persists dirty between
+    # waves and calls; each wave sentinel-cleans just the slots it
+    # reads (its own roots) before tagging writers.
+    first = state.arena.take("k2.first", state.graph.num_vertices)
+    written = state.arena.take(
+        "k2.written", state.graph.num_vertices, np.bool_
+    )
+    grp = None
+    min_blocked = None
+    pend_eid = eids[win_idx]
+    ra, hops = resolve_roots(parent, p[win_idx], kernel="k2_union")
+    total_hops = int(hops.sum())
+    rb, hops = resolve_roots(parent, q[win_idx], kernel="k2_union")
+    total_hops += int(hops.sum())
+    added = 0
+    mirror_dups = 0
+    while True:
+        link = ra != rb
+        hi = np.maximum(ra, rb)
+        lo = np.minimum(ra, rb)
+        first[ra] = _NO_WRITER
+        first[rb] = _NO_WRITER
+        # Reverse-order assignment keeps the *first* writer per root.
+        rev = np.flatnonzero(link)[::-1]
+        first[hi[rev]] = rev
+        seq = np.arange(ra.size, dtype=np.int64)
+        blocked = (first[ra] < seq) | (first[rb] < seq)
+        if blocked.any():
+            if grp is None:
+                cut = int(np.argmax(blocked))
+                if 2 * cut >= blocked.size or blocked.size < 256:
+                    # Deferring everything past the first blocked
+                    # winner is always a legal (stricter) quarantine;
+                    # when the cut is already deep — or the tail is
+                    # tiny — it beats paying for component labels.
+                    deferred = seq >= cut
+                else:
+                    grp, ncomp = _winner_components(state, ra, rb)
+                    min_blocked = state.arena.take("k2.minblk", ncomp)
+            if grp is not None:
+                # Per-component first blocked position; the table is
+                # spot-cleaned over this wave's groups, like `first`.
+                # Once labels exist they beat the prefix cut every
+                # wave: each component stalls only on itself.
+                min_blocked[grp] = _NO_WRITER
+                bsel = np.flatnonzero(blocked)[::-1]
+                min_blocked[grp[bsel]] = seq[bsel]
+                deferred = blocked | (min_blocked[grp] < seq)
+            commit = ~deferred
+            cl = commit & link
+        else:
+            deferred = None
+            cl = link
+        # Commit in one scatter (targets are provably distinct).
+        chi = hi[cl]
+        parent[chi] = lo[cl]
+        ce = pend_eid[cl]
+        added += int(np.count_nonzero(~in_mst[ce]))
+        in_mst[ce] = True
+        if deferred is None:
+            mirror_dups += int(np.count_nonzero(~link))
+            break
+        mirror_dups += int(np.count_nonzero(commit & ~link))
+        retired = int(np.count_nonzero(commit))
+        ra = ra[deferred]
+        rb = rb[deferred]
+        pend_eid = pend_eid[deferred]
+        if grp is not None:
+            grp = grp[deferred]
+        if ra.size > 256 and retired * 16 < retired + ra.size:
+            # Straggler tail: per-wave progress has collapsed (one
+            # giant conflict component is serializing the wave loop),
+            # so each further wave pays O(pending) for few commits.
+            # Finish the tail sequentially from the already-resolved
+            # roots; ``loads - 1`` per endpoint because the batched
+            # accounting already charges the final +1 via ``2 * m``.
+            for i in range(ra.size):
+                a, la = _find_root(parent, int(ra[i]))
+                b, lb = _find_root(parent, int(rb[i]))
+                total_hops += la + lb - 2
+                if a == b:
+                    mirror_dups += 1
+                    continue
+                sa, sb = (a, b) if a < b else (b, a)
+                parent[sb] = sa
+                e = int(pend_eid[i])
+                if not in_mst[e]:
+                    in_mst[e] = True
+                    added += 1
+            break
+        # Only walks whose resolved root was just overwritten move;
+        # re-resolve exactly those, keeping hop sums additive (total
+        # resolve work stays proportional to the loads the cost model
+        # charges).  Both tables are spot-cleaned, never bulk-filled.
+        written[ra] = False
+        written[rb] = False
+        written[chi] = True
+        ta = np.flatnonzero(written[ra])
+        tb = np.flatnonzero(written[rb])
+        if ta.size or tb.size:
+            r2, hops = resolve_roots(
+                parent,
+                np.concatenate((ra[ta], rb[tb])),
+                kernel="k2_union",
+            )
+            ra[ta] = r2[: ta.size]
+            rb[tb] = r2[ta.size :]
+            total_hops += int(hops.sum())
+    return m, total_hops + 2 * m, added, mirror_dups
 
 
 def kernel2_union(state: MstState) -> int:
@@ -376,34 +692,21 @@ def kernel2_union(state: MstState) -> int:
         loads, writes = lv + ln_, wv + wn
     state._round_p, state._round_q = p, q
 
-    val = pack_keys(wl.w, wl.eid)
+    if state._round_val is not None and state._round_val_key is wl.eid:
+        # k1 already packed the keys for exactly these entries.
+        val = state._round_val
+    else:
+        val = pack_keys(wl.w, wl.eid)
     win = (val == state.min_edge[p]) | (val == state.min_edge[q])
     win_idx = np.flatnonzero(win)
 
     # Winner edges are guaranteed acyclic (each is the unique minimum
     # of at least one of its sets), so the unions commute; we apply
     # them in worklist order, simulating the CAS retry loop.
-    parent = state.parent
-    cas_attempts = 0
-    union_loads = 0
-    added = 0
-    mirror_dups = 0
-    for i in win_idx:
-        a, la = _find_root(parent, int(p[i]))
-        b, lb = _find_root(parent, int(q[i]))
-        union_loads += la + lb
-        cas_attempts += 1
-        if a == b:
-            # Only possible for a mirrored duplicate of an edge already
-            # committed this round (the "Both Edge Directions" variant).
-            mirror_dups += 1
-            continue
-        lo, hi = (a, b) if a < b else (b, a)
-        parent[hi] = lo
-        eid = int(wl.eid[i])
-        if not state.in_mst[eid]:
-            state.in_mst[eid] = True
-            added += 1
+    union = _union_batched if cfg.engine == "vectorized" else _union_scalar
+    cas_attempts, union_loads, added, mirror_dups = union(
+        state, p, q, wl.eid, win_idx
+    )
 
     # --- accounting --------------------------------------------------
     eb, ecyc = _entry_prices(cfg)

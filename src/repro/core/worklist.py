@@ -67,7 +67,12 @@ class Worklist:
 
     def swap(self) -> None:
         """``WL1 ← ∅; swap WL1 and WL2`` from Alg. 2."""
-        if self._back_parts:
+        if len(self._back_parts) == 1:
+            # The common case (one producing kernel per round): adopt
+            # the columns directly.  Keeping the arrays' identity also
+            # lets k2 recognize and reuse k1's packed keys.
+            self.front = self._back_parts[0]
+        elif self._back_parts:
             self.front = EdgeList(
                 np.concatenate([p.v for p in self._back_parts]),
                 np.concatenate([p.n for p in self._back_parts]),

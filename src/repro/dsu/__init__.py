@@ -1,6 +1,12 @@
 """Disjoint-set (union-find) substrate."""
 
 from .arrays import Compression, DisjointSet
-from .vectorized import compress_halving_many, find_many
+from .vectorized import compress_halving_many, find_many, resolve_roots
 
-__all__ = ["Compression", "DisjointSet", "compress_halving_many", "find_many"]
+__all__ = [
+    "Compression",
+    "DisjointSet",
+    "compress_halving_many",
+    "find_many",
+    "resolve_roots",
+]

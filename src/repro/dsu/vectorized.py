@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import InvariantViolation
 
-__all__ = ["find_many", "compress_halving_many"]
+__all__ = ["find_many", "compress_halving_many", "resolve_roots"]
 
 
 def _cycle(kernel: str) -> InvariantViolation:
@@ -30,6 +30,58 @@ def _cycle(kernel: str) -> InvariantViolation:
     )
 
 
+def resolve_roots(
+    parent: np.ndarray, xs: np.ndarray, *, kernel: str = "resolve_roots"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched root resolution with exact per-element hop counts.
+
+    The shared primitive behind :func:`find_many` and the vectorized
+    union engine: every lane performs ``while parent[v] != v: v =
+    parent[v]`` via pointer jumping, and ``hops[i]`` records how many
+    pointer dereferences lane ``i``'s walk took *beyond* the final
+    self-check — i.e. the path length.  A lane's GPU load count is
+    therefore ``hops[i] + 1``.
+
+    The working set shrinks as lanes reach their roots, so the cost is
+    proportional to the total path length, not lanes × depth.  Never
+    mutates ``parent``; raises the same typed ``parent-acyclic``
+    :class:`InvariantViolation` as the scalar walk when a corrupted
+    parent array cycles (``kernel`` names the reporting kernel).
+
+    When every lane already sits at its root the returned array may be
+    ``xs`` itself (no copy) — mutate the result only if you own ``xs``.
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    hops = np.zeros(xs.size, dtype=np.int64)
+    if xs.size == 0:
+        return xs.copy(), hops
+    # First pass inline: most lanes already sit at their root, so the
+    # copy and the walker bookkeeping (position index) are built lazily
+    # from the movers instead of materializing full-width arrays.
+    nxt = parent[xs]
+    moving = nxt != xs
+    if not moving.any():
+        return xs, hops
+    roots = xs.copy()
+    idx = np.flatnonzero(moving)
+    cur = nxt[idx]
+    roots[idx] = cur
+    hops[idx] = 1
+    passes = 1
+    while True:
+        nxt = parent[cur]
+        moving = nxt != cur
+        if not moving.any():
+            return roots, hops
+        passes += 1
+        if passes > parent.size + 1:
+            raise _cycle(kernel)
+        idx = idx[moving]
+        cur = nxt[moving]
+        roots[idx] = cur
+        hops[idx] += 1
+
+
 def find_many(parent: np.ndarray, xs: np.ndarray) -> tuple[np.ndarray, int]:
     """Roots of all ``xs``, plus the total pointer-jump count.
 
@@ -38,23 +90,10 @@ def find_many(parent: np.ndarray, xs: np.ndarray) -> tuple[np.ndarray, int]:
     lanes (path length + 1 final check each), exactly what the GPU
     threads would issue.
     """
-    cur = np.asarray(xs, dtype=np.int64).copy()
-    if cur.size == 0:
-        return cur, 0
-    loads = cur.size  # every lane loads parent[v] at least once
-    hops = 0
-    while True:
-        nxt = parent[cur]
-        moving = nxt != cur
-        n_moving = int(np.count_nonzero(moving))
-        if n_moving == 0:
-            return cur, loads
-        hops += 1
-        if hops > parent.size + 1:
-            raise _cycle("find_many")
-        loads += n_moving
-        # Only advance lanes that have not reached their root.
-        cur[moving] = nxt[moving]
+    roots, hops = resolve_roots(parent, xs, kernel="find_many")
+    if roots.size == 0:
+        return roots, 0
+    return roots, int(roots.size + int(hops.sum()))
 
 
 def compress_halving_many(

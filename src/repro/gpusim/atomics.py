@@ -32,13 +32,35 @@ __all__ = [
 KEY_INFINITY = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
-def pack_keys(weights: np.ndarray, edge_ids: np.ndarray) -> np.ndarray:
-    """Pack ``weight`` (high 32 bits) and ``edge ID`` (low 32) into u64."""
-    w = np.asarray(weights, dtype=np.uint64)
-    e = np.asarray(edge_ids, dtype=np.uint64)
+def _as_u64(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    if a.dtype == np.uint64:
+        return a
+    if a.dtype == np.int64:
+        # Same bit width: a reinterpreting view skips the copy the
+        # astype conversion would make (values are non-negative).
+        return a.view(np.uint64)
+    return a.astype(np.uint64)
+
+
+def pack_keys(
+    weights: np.ndarray, edge_ids: np.ndarray, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Pack ``weight`` (high 32 bits) and ``edge ID`` (low 32) into u64.
+
+    ``out``, when given, receives the packed keys in place (it must be
+    a ``uint64`` array of matching length), so hot callers can reuse a
+    scratch buffer instead of allocating per round.
+    """
+    w = _as_u64(weights)
+    e = _as_u64(edge_ids)
     if w.size and int(w.max()) >= (1 << 31):
         raise ValueError("weights must fit in 31 bits below the sentinel")
-    return (w << np.uint64(32)) | e
+    if out is None:
+        return (w << np.uint64(32)) | e
+    np.left_shift(w, np.uint64(32), out=out)
+    np.bitwise_or(out, e, out=out)
+    return out
 
 
 def unpack_weight(keys: np.ndarray) -> np.ndarray:
@@ -90,12 +112,21 @@ def atomic_min_u64(
         # certainly skipped; among the rest, expected executions per
         # slot follow the harmonic law of running minima.
         would_lower = keys < target[idx]
-        cand_idx = idx[would_lower]
+        lanes = np.flatnonzero(would_lower)
+        cand_idx = idx[lanes]
         if cand_idx.size:
-            _, counts = np.unique(cand_idx, return_counts=True)
+            # Per-slot candidate counts: a sort-free bincount wins once
+            # the batch is a decent fraction of the table.  Both paths
+            # yield the counts in ascending slot order, so the float
+            # summation below is bitwise-stable either way.
+            if cand_idx.size * 16 >= target.size:
+                counts = np.bincount(cand_idx, minlength=target.size)
+                counts = counts[counts > 0]
+            else:
+                _, counts = np.unique(cand_idx, return_counts=True)
             expected = np.log(counts) + 0.5772156649
             executed = int(np.ceil(expected.sum()))
-            np.minimum.at(target, cand_idx, keys[would_lower])
+            np.minimum.at(target, cand_idx, keys[lanes])
         else:
             executed = 0
         skipped = int(keys.size - executed)

@@ -11,7 +11,9 @@ two regimes:
   repeats summarized as median + MAD, and the comparison asks whether
   the current median escapes the tolerance band
   ``median + max(mad_k * MAD, min_rel * median)``.  Wall verdicts are
-  advisory by default; only modeled regressions gate CI.
+  advisory by default; ``compare_to_baseline(..., gate_wall=True)``
+  promotes them to gating against same-machine baselines (the CI
+  wall-perf-smoke job records fresh on-runner baselines first).
 
 Baselines live as one JSON file each under ``benchmarks/baselines/``
 (managed by :class:`BaselineStore`), and comparison reuses
@@ -190,6 +192,10 @@ class RunComparison:
     modeled_regressions: dict  # metric -> diff entry
     wall_median: float
     wall_band: float
+    # When set, a wall-band escape fails ``passed`` instead of being
+    # advisory.  Only meaningful against baselines recorded on the same
+    # machine (e.g. fresh on-runner CI baselines).
+    gate_wall: bool = False
 
     @property
     def wall_regressed(self) -> bool:
@@ -197,8 +203,13 @@ class RunComparison:
 
     @property
     def passed(self) -> bool:
-        """The gating verdict: modeled-exact and like-for-like only."""
-        return self.comparable and not self.modeled_regressions
+        """The gating verdict: modeled-exact, like-for-like, and — when
+        ``gate_wall`` is set — inside the wall tolerance band."""
+        if not self.comparable or self.modeled_regressions:
+            return False
+        if self.gate_wall and self.wall_regressed:
+            return False
+        return True
 
     def render(self) -> str:
         head = f"{self.baseline.code} on {self.baseline.input}"
@@ -223,11 +234,12 @@ class RunComparison:
             lines.append(f"{head}: PASS (modeled metrics exact)")
         if self.baseline.wall.repeats > 0:
             verdict = "REGRESSED" if self.wall_regressed else "ok"
+            mode = "gated" if self.gate_wall else "advisory"
             lines.append(
                 f"    wall {verdict}: median {self.wall_median * 1e3:.1f} ms "
                 f"vs baseline {self.baseline.wall.median * 1e3:.1f} ms "
                 f"(band <= {self.wall_band * 1e3:.1f} ms, "
-                f"MAD {self.baseline.wall.mad * 1e3:.2f} ms, advisory)"
+                f"MAD {self.baseline.wall.mad * 1e3:.2f} ms, {mode})"
             )
         return "\n".join(lines)
 
@@ -238,12 +250,15 @@ def compare_to_baseline(
     wall_samples: list[float],
     *,
     threshold: float = 1.0,
+    gate_wall: bool = False,
 ) -> RunComparison:
     """Compare a fresh run against a stored baseline.
 
     ``threshold=1.0`` is the exact deterministic compare (any modeled
     metric moving in its bad direction fails); a looser value such as
     1.02 tolerates small intentional drifts during development.
+    ``gate_wall`` promotes the wall-clock band from advisory to gating
+    — use it only against baselines recorded on the same machine.
     """
     d = diff(baseline.to_profile(), profile)
     wall_median, _ = median_mad(wall_samples)
@@ -254,4 +269,5 @@ def compare_to_baseline(
         modeled_regressions=d.regressions(threshold=threshold),
         wall_median=wall_median,
         wall_band=baseline.wall.band(),
+        gate_wall=gate_wall,
     )

@@ -110,6 +110,11 @@ class ServiceConfig:
     # (Query.shards == 0 inherits this at submit time); 1 = the
     # single-GPU paper algorithm, untouched.
     shards: int = 1
+    # Default union executor for ECL-MST queries whose config doesn't
+    # name one (inherited at submit time, before any cache key is
+    # computed).  Both engines are bit-identical; "scalar" keeps the
+    # reference walk for differential debugging.
+    engine: str = "vectorized"
     # Always-on flight recorder (None = off).  The default instance is
     # frozen and shared; it only sizes ring buffers and names the
     # postmortem directory, so sharing is safe.
@@ -126,6 +131,12 @@ class ServiceConfig:
             raise ValueError("slowdown must be >= 1")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        from ..core.config import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {sorted(ENGINES)}, got {self.engine!r}"
+            )
         if (
             self.policy is not None
             and self.policy.enabled
@@ -502,6 +513,17 @@ class MSTService:
             # Inherit the service's device count *before* any key is
             # computed, so dedup/caching see the resolved spec.
             query = replace(query, shards=self.config.shards)
+        if (
+            query.code == "ECL-MST"
+            and "engine" not in query.config
+            and self.config.engine != ServiceConfig.engine
+        ):
+            # Same pre-key inheritance for the union executor: only
+            # non-default service engines need injecting (an absent
+            # field already resolves to the EclMstConfig default).
+            query = replace(
+                query, config={**query.config, "engine": self.config.engine}
+            )
         self.registry.counter("service.queries").inc()
         if self._closed:
             return self._resolved_ticket(

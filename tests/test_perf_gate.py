@@ -5,7 +5,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench.gate import GateReport, perf_check, perf_compare, perf_record
+from repro.bench.gate import (
+    DEFAULT_WALL_CELLS,
+    GateReport,
+    WallCell,
+    perf_check,
+    perf_compare,
+    perf_record,
+    record_wall_trajectory,
+    render_wall_report,
+)
 from repro.cli import main
 from repro.obs import (
     Baseline,
@@ -141,6 +150,25 @@ class TestCompareToBaseline:
         assert c.passed  # wall never gates
         assert "REGRESSED" in c.render() and "advisory" in c.render()
 
+    def test_wall_regression_gates_when_promoted(self):
+        m = {"seconds.k1": 1.0}
+        c = compare_to_baseline(
+            _baseline(m, walls=[0.001, 0.001]),
+            _profile(dict(m)),
+            [10.0],
+            gate_wall=True,
+        )
+        assert c.wall_regressed and not c.passed
+        assert "gated" in c.render()
+        # Inside the band the promoted gate still passes.
+        ok = compare_to_baseline(
+            _baseline(m, walls=[0.001, 0.001]),
+            _profile(dict(m)),
+            [0.001],
+            gate_wall=True,
+        )
+        assert ok.passed
+
     def test_fingerprint_drift_incomparable(self):
         base = _baseline({"seconds.k1": 1.0})
         p = RunProfile(
@@ -256,6 +284,68 @@ class TestPerfCli:
         )
         assert code == 0
         assert "vs baseline" in capsys.readouterr().out
+
+
+class TestWallTrajectory:
+    """Engine head-to-head recording (BENCH_WALL) and its gate."""
+
+    CELLS = (WallCell("internet", 0.05), WallCell("2d-2e20.sym", 0.05, gated=True))
+
+    def test_record_wall_trajectory_payload(self, tmp_path):
+        path, payload = record_wall_trajectory(
+            self.CELLS,
+            repeats=1,
+            trajectory_dir=tmp_path,
+            stamp="TEST",
+            min_speedup=0.0,
+            floor=0.0,
+        )
+        assert path.name == "BENCH_WALL_TEST.json"
+        assert payload["schema"] == "repro.bench.wall/v1"
+        assert json.loads(path.read_text()) == payload
+        assert len(payload["entries"]) == 2
+        for e in payload["entries"]:
+            assert e["speedup"] > 0
+            assert set(e["wall_median_s"]) == {"vectorized", "scalar"}
+            assert e["modeled_seconds"] > 0
+        assert [e["gated"] for e in payload["entries"]] == [False, True]
+        # min_speedup/floor of 0 always pass — noise-proof for CI units.
+        assert payload["gate"]["passed"]
+        report = render_wall_report(payload)
+        assert "wall gate: PASS" in report and "GATED" in report
+
+    def test_unreachable_min_speedup_fails_gate(self, tmp_path):
+        _, payload = record_wall_trajectory(
+            self.CELLS,
+            repeats=1,
+            trajectory_dir=tmp_path,
+            stamp="TEST2",
+            min_speedup=1e9,
+            floor=0.0,
+        )
+        assert not payload["gate"]["passed"]
+        assert "wall gate: FAIL" in render_wall_report(payload)
+
+    def test_cli_perf_wall(self, tmp_path, capsys):
+        code = main(
+            [
+                "perf", "wall", "--cells", "internet:0.05:gated",
+                "--repeats", "1", "--trajectory", str(tmp_path),
+                "--min-speedup", "0", "--floor", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine head-to-head" in out and "trajectory entry" in out
+        assert list(tmp_path.glob("BENCH_WALL_*.json"))
+
+    def test_cli_bad_cell_spec(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "wall", "--cells", "nocolon", "--repeats", "1"])
+
+    def test_default_cells_gate_the_union_heavy_flagship(self):
+        gated = [c.input for c in DEFAULT_WALL_CELLS if c.gated]
+        assert gated == ["USA-road-d.NY"]
 
 
 class TestCheckedInBaselines:
